@@ -1,0 +1,100 @@
+"""Closed-loop extension bench: the Section VI.E roadmap questions.
+
+* "How coarse can the [control] be before energy savings hurt success?"
+  — sweep the flapping-wing control rate and watch completion flip.
+* Does core choice propagate to task level? — run the same mission on
+  M0+/M4/M33 and compare outcomes and compute energy.
+"""
+
+import pytest
+
+from repro.closedloop import FlappingWingRunner, HoverMission, SteeringCourse, StriderRunner
+from repro.mcu.arch import M0PLUS, M4, M33
+
+
+def _render(rows, columns) -> str:
+    head = " ".join(f"{c:>18s}" for c in columns)
+    lines = [head, "-" * len(head)]
+    for row in rows:
+        lines.append(" ".join(f"{row[c]!s:>18s}" for c in columns))
+    return "\n".join(lines)
+
+
+def test_closedloop_rate_sweep(benchmark, save_artifact):
+    """Lower control rates save compute energy until the task collapses."""
+
+    def sweep():
+        rows = []
+        for rate in (100.0, 250.0, 1000.0, 2000.0):
+            runner = FlappingWingRunner(arch=M33, control_rate_hz=rate)
+            result = runner.run(HoverMission())
+            rows.append({
+                "rate_hz": int(rate),
+                "completed": result.completed,
+                "rms_m": round(result.path_error_rms_m, 4),
+                "compute_mj": round(result.compute_energy_mj, 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact("closedloop_rate_sweep",
+                  _render(rows, ["rate_hz", "completed", "rms_m", "compute_mj"]))
+
+    by_rate = {r["rate_hz"]: r for r in rows}
+    # Energy scales with rate...
+    assert by_rate[2000]["compute_mj"] > 3 * by_rate[250]["compute_mj"]
+    # ...but below some rate the fast attitude dynamics are lost (the
+    # steady-state tilt no longer settles and the mission fails).
+    assert by_rate[2000]["completed"]
+    assert by_rate[250]["completed"]
+    assert not by_rate[100]["completed"]
+
+
+def test_closedloop_core_comparison(benchmark, save_artifact):
+    """Core choice propagates to mission outcome and energy."""
+    def run_all():
+        out = []
+        for arch in (M33, M4, M0PLUS):
+            out.append((arch, FlappingWingRunner(arch=arch).run(HoverMission())))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for arch, result in results:
+        rows.append({
+            "core": arch.name,
+            "completed": result.completed,
+            "deadline": round(result.deadline_hit_rate, 2),
+            "rate_hz": int(result.effective_rate_hz),
+            "compute_mj": round(result.compute_energy_mj, 3),
+        })
+    save_artifact("closedloop_cores",
+                  _render(rows, ["core", "completed", "deadline", "rate_hz",
+                                 "compute_mj"]))
+
+    by = {r["core"]: r for r in rows}
+    assert by["m33"]["completed"] and by["m4"]["completed"]
+    assert not by["m0plus"]["completed"]
+    assert by["m0plus"]["deadline"] < 0.5
+    assert by["m33"]["compute_mj"] < 0.5 * by["m4"]["compute_mj"]
+
+
+def test_closedloop_strider_feasible_on_m0plus(benchmark, save_artifact):
+    """The gentler 200 Hz strider loop fits even the M0+ — why sub-gram
+    surface robots ship with small processors."""
+    def run_m33():
+        return StriderRunner(arch=M33).run(SteeringCourse())
+
+    first = benchmark.pedantic(run_m33, rounds=1, iterations=1)
+    rows = []
+    for arch, result in ((M33, first),
+                         (M0PLUS, StriderRunner(arch=M0PLUS).run(SteeringCourse()))):
+        rows.append({
+            "core": arch.name,
+            "completed": result.completed,
+            "rms_rad": round(result.path_error_rms_m, 4),
+            "compute_mj": round(result.compute_energy_mj, 3),
+        })
+    save_artifact("closedloop_strider",
+                  _render(rows, ["core", "completed", "rms_rad", "compute_mj"]))
+    assert all(r["completed"] for r in rows)

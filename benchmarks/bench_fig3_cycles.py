@@ -1,0 +1,56 @@
+"""Regenerates Figure 3: cycle counts for feature detection across the
+three datasets (a) and the four optical-flow kernels (b) — Case Study 1.
+"""
+
+from repro.analysis import perception_study
+from repro.core.config import HarnessConfig
+
+FAST = HarnessConfig(reps=1, warmup_reps=0)
+
+
+def _render(rows_a, rows_b) -> str:
+    lines = ["Fig 3(a): feature-detection cycles by dataset"]
+    for r in rows_a:
+        lines.append(
+            f"  {r['kernel']:10s} {r['dataset']:7s} "
+            f"m4={r['cycles_m4']:12,.0f} m33={r['cycles_m33']:12,.0f} "
+            f"m7={r['cycles_m7']:12,.0f} features={r.get('n_features', '-')}"
+        )
+    lines.append("Fig 3(b): optical-flow cycles")
+    for r in rows_b:
+        lines.append(
+            f"  {r['kernel']:10s} m4={r['cycles_m4']:12,.0f} "
+            f"m33={r['cycles_m33']:12,.0f} m7={r['cycles_m7']:12,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig3_cycles(benchmark, save_artifact):
+    rows_a = perception_study.fig3a_detection_cycles(config=FAST)
+    rows_b = benchmark.pedantic(
+        perception_study.fig3b_flow_cycles, kwargs={"config": FAST},
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig3_cycles", _render(rows_a, rows_b))
+
+    # (a) dataset ordering: lights cheapest for both detectors.
+    for detector in ("fastbrief", "orb"):
+        order = perception_study.dataset_cost_ordering(rows_a, detector)
+        assert order[0] == "lights", (detector, order)
+
+    # (a) orb above fastbrief on every dataset.
+    by_a = {(r["kernel"], r["dataset"]): r for r in rows_a}
+    for dataset in ("midd", "lights", "april"):
+        assert (by_a[("orb", dataset)]["cycles_m4"]
+                > by_a[("fastbrief", dataset)]["cycles_m4"])
+
+    # (b) LK an order of magnitude above block matching; vectorization ~4x.
+    by_b = {r["kernel"]: r for r in rows_b}
+    assert by_b["lkof"]["cycles_m4"] > 5 * by_b["bbof"]["cycles_m4"]
+    speedup = perception_study.vectorization_speedup(rows_b)
+    assert 2.5 < speedup < 6.5
+
+    # (b) iiof sits between bbof and lkof.
+    assert (by_b["bbof"]["cycles_m4"]
+            < by_b["iiof"]["cycles_m4"]
+            < by_b["lkof"]["cycles_m4"])

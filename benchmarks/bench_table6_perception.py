@@ -1,0 +1,40 @@
+"""Regenerates Table VI: energy and peak power for perception kernels on
+Cortex-M4, M33, and M7 across the midd / lights / april datasets, plus the
+bbof-vec DSP-extension variant (Case Study 1).
+"""
+
+from repro.analysis import tables
+from repro.core.config import HarnessConfig
+
+
+def test_table6_perception(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        tables.table6_perception,
+        kwargs={"config": HarnessConfig(reps=1, warmup_reps=0)},
+        rounds=1, iterations=1,
+    )
+    save_artifact("table6_perception", tables.render_table6(rows))
+
+    by = {(r["kernel"], r["data"]): r for r in rows}
+
+    # orb costs 1.2-3x fastbrief on every dataset and core (paper: 1.5-2.5x).
+    for data in ("midd", "lights", "april"):
+        for arch in ("m4", "m33", "m7"):
+            ratio = (by[("orb", data)][f"energy_{arch}_uj"]
+                     / by[("fastbrief", data)][f"energy_{arch}_uj"])
+            assert 1.1 < ratio < 3.5, (data, arch, ratio)
+
+    # Dataset ordering: lights cheapest, april most expensive.
+    for kernel in ("fastbrief", "orb"):
+        e = {d: by[(kernel, d)]["energy_m4_uj"] for d in ("midd", "lights", "april")}
+        assert e["lights"] < e["midd"] <= e["april"] * 1.15, (kernel, e)
+
+    # lkof is an order of magnitude above bbof; bbof-vec ~4x below bbof.
+    assert by[("lkof", "midd")]["energy_m4_uj"] > 5 * by[("bbof", "midd")]["energy_m4_uj"]
+    vec_ratio = (by[("bbof", "midd")]["energy_m4_uj"]
+                 / by[("bbof-vec", "midd")]["energy_m4_uj"])
+    assert 2.5 < vec_ratio < 6.5
+
+    # M33 peak power far below M4/M7 on every row.
+    for row in rows:
+        assert row["pmax_m33_mw"] < 0.5 * row["pmax_m4_mw"]

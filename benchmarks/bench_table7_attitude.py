@@ -1,0 +1,42 @@
+"""Regenerates Table VII: latency, energy, and peak power for the attitude
+filters on Cortex-M0+, M4, and M33 in f32 and q7.24 (Case Study 2).
+"""
+
+from repro.analysis import attitude_study
+from repro.core.config import HarnessConfig
+
+
+def test_table7_attitude(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        attitude_study.table7_attitude,
+        kwargs={"n_samples": 120, "config": HarnessConfig(reps=1, warmup_reps=0)},
+        rounds=1, iterations=1,
+    )
+    save_artifact("table7_attitude", attitude_study.render_table7(rows))
+
+    by = {(r["filter"], r["format"]): r for r in rows}
+    assert len(rows) == 10
+
+    for filt in ("mahony (I)", "madgwick (I)", "mahony (M)", "madgwick (M)",
+                 "fourati (M)"):
+        f32 = by[(filt, "f32")]
+        q = by[(filt, "q7.24")]
+        # Soft-float cliff: M0+ is two orders of magnitude slower in f32.
+        assert f32["latency_m0plus_us"] > 50 * f32["latency_m4_us"], filt
+        # Fixed point narrows the M0+ gap (no soft-float emulation)...
+        assert q["latency_m0plus_us"] < f32["latency_m0plus_us"] * 1.5, filt
+        # ...but is slower than f32 on the FPU cores (shift-back tax).
+        assert q["latency_m4_us"] > 1.5 * f32["latency_m4_us"], filt
+        assert q["latency_m33_us"] > 1.5 * f32["latency_m33_us"], filt
+        # Racing to idle: the M0+ loses on energy despite ~15 mW draw.
+        assert f32["energy_m0plus_nj"] > f32["energy_m4_nj"], filt
+        assert f32["energy_m0plus_nj"] > f32["energy_m33_nj"], filt
+        # M33 is the energy winner in float.
+        assert f32["energy_m33_nj"] < f32["energy_m4_nj"], filt
+
+    # MARG upgrade is only a modest latency increase (paper S5).
+    assert (by[("mahony (M)", "f32")]["latency_m4_us"]
+            < 3 * by[("mahony (I)", "f32")]["latency_m4_us"])
+    # Fourati is the most expensive filter.
+    assert (by[("fourati (M)", "f32")]["latency_m4_us"]
+            > by[("mahony (M)", "f32")]["latency_m4_us"])

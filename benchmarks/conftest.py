@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures:
+the benchmark fixture times the regeneration, and the rendered artifact is
+written to ``benchmarks/output/`` so results can be inspected and diffed
+against the paper (see EXPERIMENTS.md).
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Save a rendered table/figure to benchmarks/output/<name>.txt."""
+
+    def _save(name: str, text: str) -> Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scenario: from kernel timings to mission outcomes (Section VI.E).
+
+The paper's roadmap asks what kernel tables alone cannot answer: does a
+cheaper core actually *fly worse*, or just slower on paper?  This script
+runs the same closed-loop hover and steering missions — real dynamics,
+real estimation and control kernels, compute priced per control step — on
+the Cortex-M0+, M33, and M4, and reports task-level metrics next to
+compute cost.
+
+The punchline: the M0+'s soft-float latency blows the loop deadline, the
+runner degrades the control rate accordingly, and the hover *fails* — the
+compute-autonomy gap made visible end to end.
+
+Run:  python examples/closed_loop_mission.py
+"""
+
+from repro.closedloop import (
+    FlappingWingRunner,
+    HoverMission,
+    SteeringCourse,
+    StriderRunner,
+    WaypointMission,
+)
+from repro.mcu.arch import M0PLUS, M4, M33
+
+
+def show(result, arch_name: str) -> None:
+    status = "OK  " if result.completed else "FAIL"
+    print(f"  {arch_name:8s} {status} rms={result.path_error_rms_m:7.3f} "
+          f"max={result.path_error_max_m:7.3f} "
+          f"rate={result.effective_rate_hz:6.0f}Hz "
+          f"deadline={result.deadline_hit_rate:5.0%} "
+          f"compute={result.compute_energy_mj:7.2f}mJ "
+          f"({result.compute_latency_s * 1e6:5.1f}us/step)")
+
+
+def main() -> None:
+    print("Flapping-wing hover (2 kHz attitude loop: Mahony + SE(3) geometric)")
+    for arch in (M33, M4, M0PLUS):
+        show(FlappingWingRunner(arch=arch).run(HoverMission()), arch.name)
+
+    print("\nFlapping-wing waypoint traverse")
+    for arch in (M33, M4):
+        show(FlappingWingRunner(arch=arch).run(WaypointMission()), arch.name)
+
+    print("\nWater-strider steering course (200 Hz: SMAC yaw control)")
+    for arch in (M33, M4, M0PLUS):
+        show(StriderRunner(arch=arch).run(SteeringCourse()), arch.name)
+
+    print("\nReading the results:")
+    print("* M33 and M4 fly the same mission; the M33 does it on a third of")
+    print("  the compute energy (process node, again).")
+    print("* The M0+ cannot meet the 2 kHz attitude deadline in soft float;")
+    print("  the effective rate collapses and hover fails — kernel latency")
+    print("  becoming a task-level failure, the coupling Section VI.E is")
+    print("  after.")
+    print("* The gentler 200 Hz strider loop is feasible even on the M0+,")
+    print("  which is exactly why sub-gram crawlers/striders ship with")
+    print("  much smaller processors than flyers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full workload characterization from the CLI.
+
+Runs the complete 31-kernel suite on all three characterization cores with
+caches on and off (186 configurations, 400+ measured datapoints with the
+default repetitions) and prints Tables III, IV, and V.
+
+Run:  python examples/full_characterization.py [--reps N]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis import tables
+from repro.core.config import HarnessConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=1,
+                        help="measured repetitions per configuration")
+    parser.add_argument("--warmup", type=int, default=0,
+                        help="cache warm-up repetitions")
+    args = parser.parse_args(argv)
+
+    config = HarnessConfig(reps=args.reps, warmup_reps=args.warmup)
+
+    print("=" * 76)
+    print("Table V — Considered Cortex-M architectures")
+    print("=" * 76)
+    print(tables.render_table5(tables.table5_architectures()))
+
+    print()
+    print("=" * 76)
+    print("Table III — Static metrics (flash + instruction mix)")
+    print("=" * 76)
+    print(tables.render_table3(tables.table3_static()))
+
+    print()
+    print("=" * 76)
+    print("Table IV — Dynamic metrics (latency / energy / peak power, C/NC)")
+    print("=" * 76)
+    start = time.time()
+    sweep = tables.table4_dynamic(config=config)
+    print(tables.render_table4(sweep, kernels=tables.TABLE_KERNELS))
+    print()
+    print(f"configurations: {len(sweep)}  measured datapoints: "
+          f"{sweep.datapoints()}  wall time: {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

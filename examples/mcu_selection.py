@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: choosing an MCU for a flapping-wing robot's autonomy stack.
+
+A robot designer has a candidate sensing-to-control pipeline — attitude
+filtering at 1 kHz, a RoboFly-style EKF at 500 Hz, and TinyMPC at 500 Hz —
+and must pick a core.  This script runs the pipeline's kernels across the
+Cortex-M4 / M33 / M7 and reports, per core:
+
+* whether every kernel fits on-chip memory,
+* the pipeline's total per-cycle compute time vs its rate budget, and
+* the energy per second of autonomy (what actually drains the battery).
+
+This is the paper's intended use of the suite: measurement-driven MCU
+selection instead of FLOP arithmetic.
+
+Run:  python examples/mcu_selection.py
+"""
+
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.core.harness import Harness
+from repro.mcu import CACHE_ON, CHARACTERIZATION_ARCHS
+
+#: The pipeline: (kernel, loop rate in Hz, factory overrides).
+PIPELINE = [
+    ("madgwick", 1000.0, {"n_samples": 150}),
+    ("fly-ekf (trunc)", 500.0, {"n_samples": 150}),
+    ("fly-tiny-mpc", 500.0, {"n_steps": 20}),
+]
+
+
+def main() -> None:
+    config = HarnessConfig(reps=1, warmup_reps=0)
+    print(f"{'core':8s} {'fits':>5s} {'busy %':>7s} {'mW avg':>8s} "
+          f"{'mJ / s of flight':>17s}  breakdown (us/update)")
+    print("-" * 90)
+
+    for arch in CHARACTERIZATION_ARCHS:
+        harness = Harness(arch, config)
+        fits_all = True
+        busy_fraction = 0.0
+        energy_per_s = 0.0
+        parts = []
+        for kernel, rate_hz, overrides in PIPELINE:
+            problem = registry.create(kernel, **overrides)
+            result = harness.run(problem, CACHE_ON)
+            if not result.fits:
+                fits_all = False
+                parts.append(f"{kernel}=DNF")
+                continue
+            per_update_s = result.unit_latency_us * 1e-6
+            busy_fraction += per_update_s * rate_hz
+            energy_per_s += result.unit_energy_uj * 1e-6 * rate_hz * 1e3  # mJ/s
+            parts.append(f"{kernel}={result.unit_latency_us:.1f}")
+        feasible = fits_all and busy_fraction < 1.0
+        # mJ per second of flight is numerically the average compute
+        # power in mW.
+        print(f"{arch.name:8s} {'yes' if fits_all else 'NO':>5s} "
+              f"{busy_fraction * 100:6.1f}% "
+              f"{energy_per_s:8.2f} "
+              f"{energy_per_s:17.3f}  {'  '.join(parts)}"
+              + ("" if feasible else "   << infeasible"))
+
+    print()
+    print("Reading the table: every core fits this pipeline, but the M33")
+    print("delivers it at a fraction of the energy (its modern process")
+    print("node), while the M7 buys headroom for heavier perception at a")
+    print("power cost — the paper's Section V conclusion.")
+
+
+if __name__ == "__main__":
+    main()

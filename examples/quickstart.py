@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one kernel on one simulated core.
+
+Mirrors the paper's artifact example (a single benchmark flashed to a
+board, measured through the GPIO + current-probe chain): we run the Mahony
+attitude filter on the simulated Cortex-M4, capture the run with the
+simulated logic analyzer and current probe, and recover latency, energy,
+and peak power from the synchronized traces — then compare against the
+model's direct report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.core.harness import Harness
+from repro.instrumentation import (
+    GpioBus,
+    LogicAnalyzer,
+    PowerMonitor,
+    extract_measurements,
+    summarize,
+    synchronize,
+)
+from repro.mcu import CACHE_ON, M4
+
+
+def main() -> None:
+    # 1. Wire up the measurement chain, as on the real bench: the logic
+    #    analyzer watches the ROI pin; the current probe arms on the
+    #    trigger pin.
+    bus = GpioBus()
+    analyzer = LogicAnalyzer(bus)
+    probe = PowerMonitor()
+    bus.subscribe(probe.on_gpio)
+    analyzer.start()
+    probe.arm()
+
+    # 2. Build the harness for the target core and run a kernel from the
+    #    registry (any of the 31 suite kernels works here).
+    config = HarnessConfig(reps=5, warmup_reps=2)
+    harness = Harness(M4, config, gpio=bus, power_monitor=probe)
+    problem = registry.create("mahony", n_samples=200)
+    result = harness.run(problem, CACHE_ON)
+
+    print(f"kernel      : {problem.name} [{problem.scalar}] on {M4.core}")
+    print(f"validated   : {result.all_valid}")
+    print(f"model report: {result.unit_latency_us:8.2f} us/update, "
+          f"{result.unit_energy_uj * 1e3:8.1f} nJ/update, "
+          f"peak {result.peak_power_mw:.0f} mW")
+
+    # 3. Recover the same metrics from the captured traces, exactly as the
+    #    paper's analysis scripts do from the Saleae + STLINK-V3PWR logs.
+    capture = synchronize(analyzer, probe.capture())
+    recovered = summarize(extract_measurements(capture))
+    per_update = result.work_units
+    print(f"trace-based : {recovered.latency_us / per_update:8.2f} us/update, "
+          f"{recovered.energy_uj * 1e3 / per_update:8.1f} nJ/update, "
+          f"peak {recovered.peak_power_w * 1e3:.0f} mW")
+    print(f"ROI windows : {len(capture.rois)} "
+          f"({config.warmup_reps} warm-up + {config.reps} measured)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""EntoBench reproduction: a benchmark suite and evaluation framework for
+insect-scale robotics, with a simulated Cortex-M measurement substrate.
+
+Quick start::
+
+    from repro.core import registry, Harness, HarnessConfig
+    from repro.mcu import M4, CACHE_ON
+
+    problem = registry.create("mahony")
+    result = Harness(M4, HarnessConfig()).run(problem, CACHE_ON)
+    print(result.unit_latency_us, result.unit_energy_uj)
+"""
+
+__version__ = "0.1.0"

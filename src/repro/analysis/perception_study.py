@@ -1,0 +1,75 @@
+"""Case Study 1 analytics: exteroception under tight budgets (Figure 3).
+
+Cycle counts for the feature detectors across the three datasets and for
+the four optical-flow kernels — the data behind Fig. 3(a) and 3(b) — plus
+the dataset-ordering check (lights < midd < april) the study highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.core.harness import Harness
+from repro.mcu.arch import CHARACTERIZATION_ARCHS, M4
+from repro.mcu.cache import CACHE_ON
+
+DETECTORS = ("fastbrief", "orb")
+DATASETS = ("midd", "lights", "april")
+FLOW_KERNELS = ("lkof", "bbof", "bbof-vec", "iiof")
+
+
+def fig3a_detection_cycles(
+    detectors: Iterable[str] = DETECTORS,
+    datasets: Iterable[str] = DATASETS,
+    config: Optional[HarnessConfig] = None,
+) -> List[Dict]:
+    """Fig. 3(a): detector cycle counts per dataset per core."""
+    config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
+    rows: List[Dict] = []
+    for detector in detectors:
+        for dataset in datasets:
+            row = {"kernel": detector, "dataset": dataset}
+            for arch in CHARACTERIZATION_ARCHS:
+                problem = registry.create(detector, dataset=dataset)
+                result = Harness(arch, config).run(problem, CACHE_ON)
+                row[f"cycles_{arch.name}"] = (
+                    result.unit_cycles if result.fits else None
+                )
+                if arch is M4:
+                    row["n_features"] = problem.last_n_features
+            rows.append(row)
+    return rows
+
+
+def fig3b_flow_cycles(
+    kernels: Iterable[str] = FLOW_KERNELS,
+    config: Optional[HarnessConfig] = None,
+) -> List[Dict]:
+    """Fig. 3(b): optical-flow kernel cycle counts per core."""
+    config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
+    rows: List[Dict] = []
+    for kernel in kernels:
+        row = {"kernel": kernel}
+        for arch in CHARACTERIZATION_ARCHS:
+            problem = registry.create(kernel)
+            result = Harness(arch, config).run(problem, CACHE_ON)
+            row[f"cycles_{arch.name}"] = result.unit_cycles
+        rows.append(row)
+    return rows
+
+
+def dataset_cost_ordering(rows: List[Dict], detector: str,
+                          arch: str = "m4") -> List[str]:
+    """Datasets sorted cheapest-first for one detector (Case Study 1's
+    'lights runs fastest' observation)."""
+    relevant = [r for r in rows if r["kernel"] == detector]
+    relevant.sort(key=lambda r: r[f"cycles_{arch}"])
+    return [r["dataset"] for r in relevant]
+
+
+def vectorization_speedup(rows: List[Dict], arch: str = "m4") -> float:
+    """bbof / bbof-vec cycle ratio — the Case Study 1 SIMD headline (~4x)."""
+    by_kernel = {r["kernel"]: r for r in rows}
+    return by_kernel["bbof"][f"cycles_{arch}"] / by_kernel["bbof-vec"][f"cycles_{arch}"]

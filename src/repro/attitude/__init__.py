@@ -1,0 +1,6 @@
+"""Attitude-estimation kernels: Mahony, Madgwick, Fourati."""
+
+from repro.attitude.filters import AttitudeFilter, Fourati, Madgwick, Mahony
+from repro.attitude.scalarmath import ScalarMath
+
+__all__ = ["AttitudeFilter", "Fourati", "Madgwick", "Mahony", "ScalarMath"]

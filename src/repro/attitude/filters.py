@@ -1,0 +1,424 @@
+"""High-rate attitude estimation filters: Mahony, Madgwick, Fourati.
+
+All three are implemented scalar-generically: the same code runs over
+Python floats (f32/f64 pricing) or Q-format :class:`Fixed` values (real
+fixed-point arithmetic whose overflow / near-zero-divisor events feed Case
+Study 2's failure-rate analysis).  Mahony and Madgwick run in IMU mode
+(accelerometer + gyroscope) or MARG mode (plus magnetometer); Fourati is
+MARG-only, as in the paper.
+
+Every update records its operations on the supplied
+:class:`~repro.mcu.ops.OpCounter` so the MCU model can price it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.attitude.scalarmath import Number, ScalarMath
+from repro.fixedpoint.qformat import FixedPointContext
+from repro.mcu.ops import OpCounter
+from repro.scalar import F32, ScalarType
+
+
+def _quat_mul(a: Sequence[Number], b: Sequence[Number]) -> List[Number]:
+    aw, ax, ay, az = a
+    bw, bx, by, bz = b
+    return [
+        aw * bw - ax * bx - ay * by - az * bz,
+        aw * bx + ax * bw + ay * bz - az * by,
+        aw * by - ax * bz + ay * bw + az * bx,
+        aw * bz + ax * by - ay * bx + az * bw,
+    ]
+
+
+def _cross(a: Sequence[Number], b: Sequence[Number]) -> List[Number]:
+    return [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+
+
+class AttitudeFilter:
+    """Shared state handling for the three filters."""
+
+    #: Number of MARG axes this filter requires (None = magnetometer optional).
+    requires_mag: bool = False
+
+    def __init__(self, scalar: ScalarType = F32,
+                 ctx: Optional[FixedPointContext] = None):
+        self.scalar = scalar
+        self.math = ScalarMath(scalar, ctx)
+        self.reset()
+
+    def reset(self) -> None:
+        m = self.math
+        self.q: List[Number] = [m.const(1.0), m.const(0.0), m.const(0.0), m.const(0.0)]
+
+    @property
+    def ctx(self) -> Optional[FixedPointContext]:
+        return self.math.ctx
+
+    def quaternion(self) -> List[float]:
+        return self.math.to_floats(self.q)
+
+    def quaternion_norm(self) -> float:
+        return sum(float(c) ** 2 for c in self.q) ** 0.5
+
+    def _normalize3(self, v: List[Number], counter: OpCounter) -> List[Number]:
+        m = self.math
+        norm_sq = v[0] * v[0] + v[1] * v[1] + v[2] * v[2]
+        counter.vec_dot(3)
+        if m.near_zero(norm_sq):
+            return [m.const(0.0)] * 3
+        inv = m.inv_sqrt(norm_sq)
+        counter.fsqrt()
+        counter.fdiv()
+        counter.vec_scale(3)
+        return [v[0] * inv, v[1] * inv, v[2] * inv]
+
+    def _integrate(self, qdot: List[Number], dt: Number, counter: OpCounter) -> None:
+        m = self.math
+        self.q = [qi + qd * dt for qi, qd in zip(self.q, qdot)]
+        counter.vec_axpy(4)
+        norm_sq = sum((qi * qi for qi in self.q[1:]), self.q[0] * self.q[0])
+        counter.vec_dot(4)
+        if m.near_zero(norm_sq):
+            return
+        inv = m.inv_sqrt(norm_sq)
+        counter.fsqrt()
+        counter.fdiv()
+        self.q = [qi * inv for qi in self.q]
+        counter.vec_scale(4)
+
+
+class Mahony(AttitudeFilter):
+    """Mahony complementary filter with proportional-integral correction."""
+
+    def __init__(self, scalar: ScalarType = F32, kp: float = 2.0, ki: float = 0.05,
+                 ctx: Optional[FixedPointContext] = None):
+        super().__init__(scalar, ctx)
+        m = self.math
+        self.kp = m.const(kp)
+        self.ki = m.const(ki)
+        self.integral: List[Number] = [m.const(0.0)] * 3
+
+    def reset(self) -> None:
+        super().reset()
+        self.integral = [self.math.const(0.0)] * 3
+
+    def update(
+        self,
+        gyro: Sequence[float],
+        accel: Sequence[float],
+        mag: Optional[Sequence[float]],
+        dt: float,
+        counter: OpCounter,
+    ) -> None:
+        m = self.math
+        g = m.vector(gyro)
+        a = m.vector(accel)
+        dt_s = m.const(dt)
+        counter.load(9)  # sensor fetch
+        counter.fcvt(6)
+
+        a = self._normalize3(a, counter)
+        qw, qx, qy, qz = self.q
+        two = m.const(2.0)
+
+        # Estimated gravity direction in the body frame.
+        v = [
+            two * (qx * qz - qw * qy),
+            two * (qw * qx + qy * qz),
+            qw * qw - qx * qx - qy * qy + qz * qz,
+        ]
+        counter.flop_mix(add=6, mul=13)
+
+        e = _cross(a, v)
+        counter.vec_cross()
+
+        if mag is not None:
+            mg = self._normalize3(m.vector(mag), counter)
+            counter.load(3)
+            # Reference field in the earth frame: h = q * m * q^-1, then
+            # b = [|h_xy|, 0, h_z]; w is b seen back in the body frame.
+            hq = _quat_mul(_quat_mul(list(self.q), [m.const(0.0)] + mg),
+                           [qw, -qx, -qy, -qz])
+            counter.quat_mul()
+            counter.quat_mul()
+            hx, hy, hz = hq[1], hq[2], hq[3]
+            bx = m.sqrt(hx * hx + hy * hy)
+            counter.flop_mix(add=1, mul=2, sqrt=1)
+            bz = hz
+            w = [
+                two * (bx * (m.const(0.5) - qy * qy - qz * qz)
+                       + bz * (qx * qz - qw * qy)),
+                two * (bx * (qx * qy - qw * qz) + bz * (qw * qx + qy * qz)),
+                two * (bx * (qw * qy + qx * qz)
+                       + bz * (m.const(0.5) - qx * qx - qy * qy)),
+            ]
+            counter.flop_mix(add=14, mul=24)
+            em = _cross(mg, w)
+            counter.vec_cross()
+            e = [ea + eb for ea, eb in zip(e, em)]
+            counter.vec_add(3)
+
+        # PI correction feeding the gyro.
+        self.integral = [ii + ei * dt_s * self.ki for ii, ei in zip(self.integral, e)]
+        counter.flop_mix(add=3, mul=6)
+        g = [gi + self.kp * ei + ii for gi, ei, ii in zip(g, e, self.integral)]
+        counter.flop_mix(add=6, mul=3)
+
+        qdot = _quat_mul(list(self.q), [m.const(0.0)] + g)
+        counter.quat_mul()
+        half = m.const(0.5)
+        qdot = [half * qi for qi in qdot]
+        counter.vec_scale(4)
+        self._integrate(qdot, dt_s, counter)
+
+
+class Madgwick(AttitudeFilter):
+    """Madgwick gradient-descent filter (IMU and full MARG forms)."""
+
+    def __init__(self, scalar: ScalarType = F32, beta: float = 0.1,
+                 ctx: Optional[FixedPointContext] = None):
+        super().__init__(scalar, ctx)
+        self.beta = self.math.const(beta)
+
+    def update(
+        self,
+        gyro: Sequence[float],
+        accel: Sequence[float],
+        mag: Optional[Sequence[float]],
+        dt: float,
+        counter: OpCounter,
+    ) -> None:
+        if mag is None:
+            self._update_imu(gyro, accel, dt, counter)
+        else:
+            self._update_marg(gyro, accel, mag, dt, counter)
+
+    def _update_imu(self, gyro, accel, dt, counter: OpCounter) -> None:
+        m = self.math
+        gx, gy, gz = m.vector(gyro)
+        a = self._normalize3(m.vector(accel), counter)
+        counter.load(6)
+        counter.fcvt(6)
+        ax, ay, az = a
+        q0, q1, q2, q3 = self.q
+        dt_s = m.const(dt)
+        two, four = m.const(2.0), m.const(4.0)
+        half = m.const(0.5)
+
+        # Rate of change from gyroscope.
+        qdot = _quat_mul([q0, q1, q2, q3], [m.const(0.0), gx, gy, gz])
+        counter.quat_mul()
+        qdot = [half * v for v in qdot]
+        counter.vec_scale(4)
+
+        # Gradient-descent corrective step (standard closed form).
+        f1 = two * (q1 * q3 - q0 * q2) - ax
+        f2 = two * (q0 * q1 + q2 * q3) - ay
+        f3 = two * (half - q1 * q1 - q2 * q2) - az
+        s0 = -two * q2 * f1 + two * q1 * f2
+        s1 = two * q3 * f1 + two * q0 * f2 - four * q1 * f3
+        s2 = -two * q0 * f1 + two * q3 * f2 - four * q2 * f3
+        s3 = two * q1 * f1 + two * q2 * f2
+        counter.flop_mix(add=14, mul=28)
+
+        norm_sq = s0 * s0 + s1 * s1 + s2 * s2 + s3 * s3
+        counter.vec_dot(4)
+        if not m.near_zero(norm_sq):
+            inv = m.inv_sqrt(norm_sq)
+            counter.fsqrt()
+            counter.fdiv()
+            qdot = [qd - self.beta * (s * inv)
+                    for qd, s in zip(qdot, (s0, s1, s2, s3))]
+            counter.flop_mix(add=4, mul=8)
+        self._integrate(qdot, dt_s, counter)
+
+    def _update_marg(self, gyro, accel, mag, dt, counter: OpCounter) -> None:
+        m = self.math
+        gx, gy, gz = m.vector(gyro)
+        a = self._normalize3(m.vector(accel), counter)
+        mg = self._normalize3(m.vector(mag), counter)
+        counter.load(9)
+        counter.fcvt(9)
+        ax, ay, az = a
+        mx, my, mz = mg
+        q0, q1, q2, q3 = self.q
+        dt_s = m.const(dt)
+        two = m.const(2.0)
+        half = m.const(0.5)
+
+        qdot = _quat_mul([q0, q1, q2, q3], [m.const(0.0), gx, gy, gz])
+        counter.quat_mul()
+        qdot = [half * v for v in qdot]
+        counter.vec_scale(4)
+
+        # Auxiliary products (as in the reference implementation).
+        _2q0mx, _2q0my, _2q0mz = two * q0 * mx, two * q0 * my, two * q0 * mz
+        _2q1mx = two * q1 * mx
+        _2q0, _2q1, _2q2, _2q3 = two * q0, two * q1, two * q2, two * q3
+        q0q0, q0q1, q0q2, q0q3 = q0 * q0, q0 * q1, q0 * q2, q0 * q3
+        q1q1, q1q2, q1q3 = q1 * q1, q1 * q2, q1 * q3
+        q2q2, q2q3, q3q3 = q2 * q2, q2 * q3, q3 * q3
+        counter.flop_mix(mul=18)
+
+        # Earth-frame reference direction of flux.
+        hx = (mx * q0q0 - _2q0my * q3 + _2q0mz * q2 + mx * q1q1
+              + _2q1 * my * q2 + _2q1 * mz * q3 - mx * q2q2 - mx * q3q3)
+        hy = (_2q0mx * q3 + my * q0q0 - _2q0mz * q1 + _2q1mx * q2
+              - my * q1q1 + my * q2q2 + _2q2 * mz * q3 - my * q3q3)
+        _2bx = m.sqrt(hx * hx + hy * hy)
+        _2bz = (-_2q0mx * q2 + _2q0my * q1 + mz * q0q0 + _2q1mx * q3
+                - mz * q1q1 + _2q2 * my * q3 - mz * q2q2 + mz * q3q3)
+        _4bx, _4bz = two * _2bx, two * _2bz
+        counter.flop_mix(add=22, mul=30, sqrt=1)
+
+        # Gradient-descent step (full MARG closed form).
+        e1 = two * (q1q3 - q0q2) - ax
+        e2 = two * (q0q1 + q2q3) - ay
+        e3 = m.const(1.0) - two * (q1q1 + q2q2) - az
+        e4 = (_2bx * (half - q2q2 - q3q3) + _2bz * (q1q3 - q0q2)) - mx
+        e5 = (_2bx * (q1q2 - q0q3) + _2bz * (q0q1 + q2q3)) - my
+        e6 = (_2bx * (q0q2 + q1q3) + _2bz * (half - q1q1 - q2q2)) - mz
+        counter.flop_mix(add=20, mul=18)
+
+        s0 = (-_2q2 * e1 + _2q1 * e2 - _2bz * q2 * e4
+              + (-_2bx * q3 + _2bz * q1) * e5 + _2bx * q2 * e6)
+        s1 = (_2q3 * e1 + _2q0 * e2 - two * two * q1 * e3 + _2bz * q3 * e4
+              + (_2bx * q2 + _2bz * q0) * e5 + (_2bx * q3 - _4bz * q1) * e6)
+        s2 = (-_2q0 * e1 + _2q3 * e2 - two * two * q2 * e3
+              + (-_4bx * q2 - _2bz * q0) * e4 + (_2bx * q1 + _2bz * q3) * e5
+              + (_2bx * q0 - _4bz * q2) * e6)
+        s3 = (_2q1 * e1 + _2q2 * e2 + (-_4bx * q3 + _2bz * q1) * e4
+              + (-_2bx * q0 + _2bz * q2) * e5 + _2bx * q1 * e6)
+        counter.flop_mix(add=28, mul=44)
+
+        norm_sq = s0 * s0 + s1 * s1 + s2 * s2 + s3 * s3
+        counter.vec_dot(4)
+        if not m.near_zero(norm_sq):
+            inv = m.inv_sqrt(norm_sq)
+            counter.fsqrt()
+            counter.fdiv()
+            qdot = [qd - self.beta * (s * inv)
+                    for qd, s in zip(qdot, (s0, s1, s2, s3))]
+            counter.flop_mix(add=4, mul=8)
+        self._integrate(qdot, dt_s, counter)
+
+
+class Fourati(AttitudeFilter):
+    """Fourati's nonlinear MARG filter with a Levenberg-Marquardt gain.
+
+    Fuses gravity and flux direction errors through a damped 3x3 normal
+    equation solve each step — noticeably more float work than Mahony or
+    Madgwick, matching its position in the paper's Tables III/VII.
+    """
+
+    requires_mag = True
+
+    def __init__(self, scalar: ScalarType = F32, beta: float = 0.3,
+                 lam: float = 0.6, ctx: Optional[FixedPointContext] = None):
+        super().__init__(scalar, ctx)
+        self.beta = self.math.const(beta)
+        self.lam = self.math.const(lam)
+
+    def update(
+        self,
+        gyro: Sequence[float],
+        accel: Sequence[float],
+        mag: Optional[Sequence[float]],
+        dt: float,
+        counter: OpCounter,
+    ) -> None:
+        if mag is None:
+            raise ValueError("Fourati requires a MARG (magnetometer) architecture")
+        m = self.math
+        g = m.vector(gyro)
+        a = self._normalize3(m.vector(accel), counter)
+        mg = self._normalize3(m.vector(mag), counter)
+        counter.load(9)
+        counter.fcvt(9)
+        qw, qx, qy, qz = self.q
+        dt_s = m.const(dt)
+        two, half = m.const(2.0), m.const(0.5)
+
+        # Estimated gravity and flux directions in the body frame.
+        v = [
+            two * (qx * qz - qw * qy),
+            two * (qw * qx + qy * qz),
+            qw * qw - qx * qx - qy * qy + qz * qz,
+        ]
+        counter.flop_mix(add=6, mul=13)
+        hq = _quat_mul(_quat_mul(list(self.q), [m.const(0.0)] + mg),
+                       [qw, -qx, -qy, -qz])
+        counter.quat_mul()
+        counter.quat_mul()
+        bx = m.sqrt(hq[1] * hq[1] + hq[2] * hq[2])
+        bz = hq[3]
+        counter.flop_mix(add=1, mul=2, sqrt=1)
+        w = [
+            two * (bx * (half - qy * qy - qz * qz) + bz * (qx * qz - qw * qy)),
+            two * (bx * (qx * qy - qw * qz) + bz * (qw * qx + qy * qz)),
+            two * (bx * (qw * qy + qx * qz) + bz * (half - qx * qx - qy * qy)),
+        ]
+        counter.flop_mix(add=14, mul=24)
+
+        ea = _cross(a, v)
+        em = _cross(mg, w)
+        counter.vec_cross()
+        counter.vec_cross()
+
+        # Levenberg-Marquardt step: (K + lam*I) delta = ea + em, where
+        # K approximates the Gauss-Newton normal matrix from the two
+        # direction Jacobians (skew-symmetric outer products).
+        k = [[m.const(0.0) for _ in range(3)] for _ in range(3)]
+        for src in (v, w):
+            for i in range(3):
+                for j in range(3):
+                    k[i][j] = k[i][j] + src[i] * src[j]
+        counter.flop_mix(add=18, mul=18)
+        for i in range(3):
+            k[i][i] = k[i][i] + self.lam
+        counter.flop_mix(add=3)
+        rhs = [ea[i] + em[i] for i in range(3)]
+        counter.vec_add(3)
+        delta = self._solve3(k, rhs, counter)
+
+        gc = [gi + self.beta * di for gi, di in zip(g, delta)]
+        counter.flop_mix(add=3, mul=3)
+        qdot = _quat_mul(list(self.q), [m.const(0.0)] + gc)
+        counter.quat_mul()
+        qdot = [half * qi for qi in qdot]
+        counter.vec_scale(4)
+        self._integrate(qdot, dt_s, counter)
+
+    def _solve3(self, k, rhs, counter: OpCounter):
+        """3x3 solve via the adjugate (closed form, as embedded code does)."""
+        m = self.math
+        a, b, c = k[0]
+        d, e, f = k[1]
+        g2, h, i = k[2]
+        ei_fh = e * i - f * h
+        fg_di = f * g2 - d * i
+        dh_eg = d * h - e * g2
+        det = a * ei_fh + b * fg_di + c * dh_eg
+        counter.flop_mix(add=5, mul=9)
+        if m.near_zero(det):
+            return [m.const(0.0)] * 3
+        inv_det = m.divide(m.const(1.0), det)
+        counter.fdiv()
+        adj = [
+            [ei_fh, c * h - b * i, b * f - c * e],
+            [fg_di, a * i - c * g2, c * d - a * f],
+            [dh_eg, b * g2 - a * h, a * e - b * d],
+        ]
+        counter.flop_mix(add=6, mul=12)
+        out = []
+        for row in adj:
+            acc = row[0] * rhs[0] + row[1] * rhs[1] + row[2] * rhs[2]
+            out.append(acc * inv_det)
+        counter.flop_mix(add=6, mul=12)
+        return out

@@ -1,0 +1,88 @@
+"""Generic scalar math for attitude filters.
+
+The attitude kernels run the same algorithm over Python floats (priced as
+f32/f64 by the pipeline model) or over :class:`~repro.fixedpoint.qformat.Fixed`
+values (real Q-format arithmetic with failure tracking).  This module hides
+the dispatch: a :class:`ScalarMath` bound to a scalar type converts inputs,
+provides sqrt/reciprocal-sqrt, and exposes the near-zero test that decides
+the early exits Case Study 2 counts as failure events.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Union
+
+from repro.fixedpoint.qformat import Fixed, FixedPointContext, QFormat
+from repro.scalar import ScalarType
+
+Number = Union[float, Fixed]
+
+
+class ScalarMath:
+    """Scalar-type-generic math operations for filter code."""
+
+    def __init__(self, scalar: ScalarType, ctx: Optional[FixedPointContext] = None):
+        self.scalar = scalar
+        if scalar.is_fixed:
+            if ctx is None:
+                ctx = FixedPointContext()
+            self.ctx = ctx
+            self.fmt = QFormat(scalar.q_int, scalar.q_frac)
+        else:
+            self.ctx = ctx  # may be None for float paths
+            self.fmt = None
+
+    # -- conversions -----------------------------------------------------
+
+    def const(self, x: float) -> Number:
+        if self.fmt is not None:
+            return Fixed.from_float(x, self.fmt, self.ctx)
+        return float(x)
+
+    def vector(self, xs: Sequence[float]) -> List[Number]:
+        return [self.const(float(x)) for x in xs]
+
+    def to_float(self, x: Number) -> float:
+        return float(x)
+
+    def to_floats(self, xs: Sequence[Number]) -> List[float]:
+        return [float(x) for x in xs]
+
+    # -- operations ---------------------------------------------------------
+
+    def sqrt(self, x: Number) -> Number:
+        if isinstance(x, Fixed):
+            return x.sqrt()
+        return math.sqrt(x) if x > 0.0 else 0.0
+
+    def inv_sqrt(self, x: Number) -> Number:
+        if isinstance(x, Fixed):
+            return x.recip_sqrt()
+        if x <= 0.0:
+            return 0.0
+        return 1.0 / math.sqrt(x)
+
+    def near_zero(self, x: Number, eps: float = 1e-9) -> bool:
+        """Near-zero test guarding divisions.
+
+        For fixed point the effective epsilon is the format's resolution —
+        narrow-fraction formats trip this far more often, which is one of
+        the failure modes the paper's Figure 4 sweeps expose.
+        """
+        if isinstance(x, Fixed):
+            return abs(x.raw) < 4
+        return abs(x) < eps
+
+    def divide(self, num: Number, den: Number) -> Number:
+        """Division with the near-zero guard; fixed point records failures."""
+        if self.near_zero(den):
+            if isinstance(den, Fixed):
+                # The Fixed division already records the event; drive it.
+                return num / den
+            return self.const(0.0)
+        return num / den
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.ctx is not None and self.ctx.failed)

@@ -1,0 +1,145 @@
+"""Benchmark problems for the attitude-estimation kernels.
+
+Registers ``mahony``, ``madgwick``, and ``fourati`` (Table III's Att. Est.
+rows) plus explicit IMU/MARG variants used by Case Study 2.  One solve()
+runs the filter over a full synthetic IMU sequence; the tables report
+per-update figures via ``work_units``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.attitude.filters import AttitudeFilter, Fourati, Madgwick, Mahony
+from repro.core.problem import EntoProblem
+from repro.core.registry import register
+from repro.datasets import imu
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix, compose
+from repro.scalar import F32, ScalarType
+
+#: Attitude error threshold counted as a failure, from Case Study 2.
+FAILURE_ERROR_DEG = 2.5
+
+
+class AttitudeProblem(EntoProblem):
+    """Runs one attitude filter over one IMU/MARG sequence."""
+
+    stage = "S"
+    category = "Att. Est."
+    dataset_name = "bee-synth"
+    filter_cls: Type[AttitudeFilter] = Mahony
+    use_mag = False
+    _blocks = ("quat_update", "vec3_kinematics", "harness_runtime")
+
+    def __init__(
+        self,
+        scalar: ScalarType = F32,
+        seed: int = 0,
+        dataset: str = "bee-hover",
+        n_samples: int = 200,
+        error_window: float = 0.5,
+    ):
+        super().__init__(scalar, seed)
+        self.dataset = dataset
+        self.n_samples = n_samples
+        self.error_window = error_window
+        self.sequence: Optional[imu.ImuSequence] = None
+        self.filter: Optional[AttitudeFilter] = None
+        self.last_errors_deg: Optional[np.ndarray] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.sequence = imu.load(self.dataset, n=self.n_samples, seed=self.seed)
+        self.work_units = len(self.sequence)
+
+    def _make_filter(self) -> AttitudeFilter:
+        return self.filter_cls(scalar=self.scalar)
+
+    def solve(self, counter: OpCounter):
+        seq = self.sequence
+        filt = self._make_filter()
+        self.filter = filt
+        errors = np.empty(len(seq))
+        for i in range(len(seq)):
+            mag = seq.mag[i] if self.use_mag else None
+            filt.update(seq.gyro[i], seq.accel[i], mag, seq.dt, counter)
+            errors[i] = imu.quat_angle_deg(np.array(filt.quaternion()), seq.truth[i])
+        self.last_errors_deg = errors
+        return filt.quaternion()
+
+    def validate(self, result) -> bool:
+        if self.filter is not None and self.filter.ctx is not None:
+            if self.filter.ctx.failed:
+                return False
+        # Judge accuracy after the convergence transient.
+        start = int(len(self.last_errors_deg) * self.error_window)
+        tail = self.last_errors_deg[start:]
+        if abs(self.filter.quaternion_norm() - 1.0) > 0.05:
+            return False
+        return bool(np.mean(tail) <= FAILURE_ERROR_DEG)
+
+    def failure_events(self) -> dict:
+        """Case Study 2 failure accounting for the last solve."""
+        ctx = self.filter.ctx if self.filter is not None else None
+        start = int(len(self.last_errors_deg) * self.error_window)
+        tail = self.last_errors_deg[start:]
+        return {
+            "overflow": ctx.overflow_events if ctx else 0,
+            "div_near_zero": ctx.div_by_near_zero_events if ctx else 0,
+            "sqrt_negative": ctx.sqrt_negative_events if ctx else 0,
+            "norm_drift": int(abs(self.filter.quaternion_norm() - 1.0) > 0.05),
+            "attitude_error": int(np.mean(tail) > FAILURE_ERROR_DEG),
+        }
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(self._blocks)
+
+    def footprint(self) -> Footprint:
+        # Filter state + a handful of sensor samples; code dominates.
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes, data_bytes=512)
+
+    def flop_estimate(self) -> int:
+        per_update = {"mahony": 90, "madgwick": 110, "fourati": 280}[self.name.split("-")[0]]
+        if self.use_mag:
+            per_update = int(per_update * 1.8)
+        return per_update * self.work_units
+
+
+class MahonyProblem(AttitudeProblem):
+    name = "mahony"
+    filter_cls = Mahony
+
+
+class MadgwickProblem(AttitudeProblem):
+    name = "madgwick"
+    filter_cls = Madgwick
+
+
+class FouratiProblem(AttitudeProblem):
+    name = "fourati"
+    filter_cls = Fourati
+    use_mag = True
+    _blocks = ("quat_update", "vec3_kinematics", "marg_correction",
+               "matrix_inverse_small", "harness_runtime")
+
+
+class MahonyMargProblem(MahonyProblem):
+    name = "mahony (marg)"
+    use_mag = True
+    _blocks = ("quat_update", "vec3_kinematics", "marg_correction", "harness_runtime")
+
+
+class MadgwickMargProblem(MadgwickProblem):
+    name = "madgwick (marg)"
+    use_mag = True
+    _blocks = ("quat_update", "vec3_kinematics", "marg_correction", "harness_runtime")
+
+
+register("mahony")(MahonyProblem)
+register("madgwick")(MadgwickProblem)
+register("fourati")(FouratiProblem)
+register("mahony (marg)")(MahonyMargProblem)
+register("madgwick (marg)")(MadgwickMargProblem)

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Mirrors the artifact's make-target workflow with subcommands::
+
+    python -m repro list                       # the registered suite
+    python -m repro run mahony --arch m4       # one kernel, one core
+    python -m repro sweep --kernels mahony,p3p --out results.json
+    python -m repro tables --table 4           # regenerate a paper table
+    python -m repro mission hover --arch m33   # closed-loop evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.core.harness import Harness
+from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, get_arch
+from repro.mcu.cache import CACHE_OFF, CACHE_ON
+from repro.scalar import parse_scalar
+
+
+def _cmd_list(args) -> int:
+    print(f"{'stage':6s} {'kernel':18s} {'category':16s} {'dataset':16s}")
+    print("-" * 60)
+    for name in registry.names():
+        problem = registry.create(name)
+        print(f"{problem.stage:6s} {name:18s} {problem.category:16s} "
+              f"{problem.dataset_name:16s}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    arch = get_arch(args.arch)
+    config = HarnessConfig(reps=args.reps, warmup_reps=args.warmup)
+    kwargs = {}
+    if args.scalar:
+        kwargs["scalar"] = parse_scalar(args.scalar)
+    problem = registry.create(args.kernel, **kwargs)
+    harness = Harness(arch, config)
+    cache = CACHE_ON if args.cache else CACHE_OFF
+    result = harness.run(problem, cache)
+    if not result.fits:
+        print(f"{args.kernel} does not fit {arch.name}: {result.skip_reason}")
+        return 1
+    print(f"kernel    : {args.kernel} [{problem.scalar}] on {arch.core} "
+          f"({cache.label})")
+    print(f"validated : {result.all_valid}")
+    print(f"cycles    : {result.unit_cycles:,.0f} per unit "
+          f"({result.work_units} units/solve)")
+    print(f"latency   : {result.unit_latency_us:.2f} us")
+    print(f"energy    : {result.unit_energy_uj:.3f} uJ")
+    print(f"peak power: {result.peak_power_mw:.0f} mW")
+    return 0 if result.all_valid else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.experiment import SweepSpec, run_sweep
+    from repro.core.experiment_io import save_results_csv, save_results_json
+
+    kernels = (args.kernels.split(",") if args.kernels else registry.suite())
+    archs = ([get_arch(a) for a in args.archs.split(",")]
+             if args.archs else list(CHARACTERIZATION_ARCHS))
+    spec = SweepSpec(
+        kernels=kernels,
+        archs=archs,
+        config=HarnessConfig(reps=args.reps, warmup_reps=args.warmup),
+    )
+    results = run_sweep(spec, progress=print if args.verbose else None)
+    print(f"{len(results)} configurations, {results.datapoints()} datapoints")
+    if args.out:
+        if args.out.endswith(".csv"):
+            path = save_results_csv(results, args.out)
+        else:
+            path = save_results_json(results, args.out)
+        print(f"saved: {path}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.analysis import attitude_study, flops, tables
+
+    config = HarnessConfig(reps=args.reps, warmup_reps=args.warmup)
+    table = args.table
+    if table == 3:
+        print(tables.render_table3(tables.table3_static()))
+    elif table == 4:
+        sweep = tables.table4_dynamic(config=config)
+        print(tables.render_table4(sweep, kernels=tables.TABLE_KERNELS))
+    elif table == 5:
+        print(tables.render_table5(tables.table5_architectures()))
+    elif table == 6:
+        print(tables.render_table6(tables.table6_perception(config=config)))
+    elif table == 7:
+        print(attitude_study.render_table7(
+            attitude_study.table7_attitude(config=config)))
+    elif table == 8:
+        print(flops.render_table8(flops.table8_flops(config=config)))
+    else:
+        print(f"no such table: {table} (know 3-8)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_mission(args) -> int:
+    from repro.closedloop import (
+        FlappingWingRunner,
+        HoverMission,
+        SteeringCourse,
+        StriderRunner,
+        WaypointMission,
+    )
+
+    arch = get_arch(args.arch)
+    if args.mission == "hover":
+        result = FlappingWingRunner(arch=arch).run(HoverMission())
+    elif args.mission == "waypoints":
+        result = FlappingWingRunner(arch=arch).run(WaypointMission())
+    elif args.mission == "steer":
+        result = StriderRunner(arch=arch).run(SteeringCourse())
+    else:
+        print(f"no such mission: {args.mission}", file=sys.stderr)
+        return 2
+    print(f"mission   : {result.name} on {arch.core}")
+    print(f"completed : {result.completed}")
+    print(f"path error: rms={result.path_error_rms_m:.4f} "
+          f"max={result.path_error_max_m:.4f}")
+    print(f"rate      : {result.effective_rate_hz:.0f} Hz "
+          f"(deadline hit {result.deadline_hit_rate:.0%})")
+    print(f"compute   : {result.compute_energy_mj:.3f} mJ, "
+          f"{result.compute_latency_s * 1e6:.1f} us/step")
+    return 0 if result.completed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered kernel suite")
+
+    run = sub.add_parser("run", help="benchmark one kernel on one core")
+    run.add_argument("kernel")
+    run.add_argument("--arch", default="m4", choices=sorted(ARCHS))
+    run.add_argument("--scalar", default=None,
+                     help="f32 / f64 / qM.N (default: f32)")
+    run.add_argument("--reps", type=int, default=3)
+    run.add_argument("--warmup", type=int, default=1)
+    run.add_argument("--no-cache", dest="cache", action="store_false")
+
+    sweep = sub.add_parser("sweep", help="run a kernel x core x cache sweep")
+    sweep.add_argument("--kernels", default=None,
+                       help="comma-separated (default: full suite)")
+    sweep.add_argument("--archs", default=None,
+                       help="comma-separated (default: m4,m33,m7)")
+    sweep.add_argument("--reps", type=int, default=1)
+    sweep.add_argument("--warmup", type=int, default=0)
+    sweep.add_argument("--out", default=None, help=".json or .csv path")
+    sweep.add_argument("--verbose", action="store_true")
+
+    tables_p = sub.add_parser("tables", help="regenerate a paper table")
+    tables_p.add_argument("--table", type=int, required=True, choices=range(3, 9))
+    tables_p.add_argument("--reps", type=int, default=1)
+    tables_p.add_argument("--warmup", type=int, default=0)
+
+    mission = sub.add_parser("mission", help="closed-loop mission evaluation")
+    mission.add_argument("mission", choices=("hover", "waypoints", "steer"))
+    mission.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "tables": _cmd_tables,
+        "mission": _cmd_mission,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

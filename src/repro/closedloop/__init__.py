@@ -1,0 +1,27 @@
+"""Closed-loop evaluation: insect-scale simulators + mission scoring.
+
+The paper's Section VI.E roadmap, implemented: controllers run end-to-end
+against lightweight dynamics simulators while the framework logs both the
+compute cost (via the MCU models) and task-level metrics (path error,
+completion rate, energy per mission).
+"""
+
+from repro.closedloop.missions import (
+    HoverMission,
+    MissionResult,
+    SteeringCourse,
+    WaypointMission,
+)
+from repro.closedloop.runner import FlappingWingRunner, StriderRunner
+from repro.closedloop.simulator import FlappingWingBody, WaterStrider
+
+__all__ = [
+    "HoverMission",
+    "MissionResult",
+    "SteeringCourse",
+    "WaypointMission",
+    "FlappingWingRunner",
+    "StriderRunner",
+    "FlappingWingBody",
+    "WaterStrider",
+]

@@ -1,0 +1,112 @@
+"""Mission definitions and task-level metrics for closed-loop evaluation.
+
+The roadmap's question: kernel timing tells only part of the story — what
+matters when closing the loop is *task-level* performance: disturbance
+rejection, path error, completion rate, and energy per mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MissionResult:
+    """Task-level outcome plus the compute cost of achieving it."""
+
+    name: str
+    completed: bool
+    duration_s: float
+    #: RMS distance to the reference path/setpoint over the mission (m).
+    path_error_rms_m: float
+    #: Worst-case excursion from the reference (m).
+    path_error_max_m: float
+    #: Compute energy spent by the autonomy stack over the mission (J).
+    compute_energy_j: float
+    #: Average compute latency per control period (s).
+    compute_latency_s: float
+    #: Fraction of control periods whose compute met the deadline.
+    deadline_hit_rate: float
+    #: Effective control rate actually achieved (Hz).
+    effective_rate_hz: float
+
+    @property
+    def compute_energy_mj(self) -> float:
+        return self.compute_energy_j * 1e3
+
+
+@dataclass
+class HoverMission:
+    """Hold position at a setpoint under stroke disturbance."""
+
+    name: str = "hover-hold"
+    duration_s: float = 0.5
+    setpoint: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 0.3]))
+    #: Mission succeeds when the RMS position error stays below this.
+    success_rms_m: float = 0.05
+    #: And no excursion beyond this (a crash / flyaway bound).
+    abort_error_m: float = 0.5
+    #: Steady-state attitude must settle below this (a tumbling body that
+    #: happens to hover on average is not a success).
+    max_steady_tilt_rad: float = 0.26
+
+    def reference(self, t: float) -> np.ndarray:
+        return self.setpoint
+
+
+@dataclass
+class WaypointMission:
+    """Traverse a short sequence of waypoints (flapping-wing)."""
+
+    name: str = "waypoints"
+    duration_s: float = 1.2
+    waypoints: tuple = (
+        (0.0, 0.0, 0.3),
+        (0.15, 0.0, 0.35),
+        (0.15, 0.15, 0.3),
+    )
+    success_rms_m: float = 0.09
+    abort_error_m: float = 0.6
+    max_steady_tilt_rad: float = 0.35
+
+    def reference(self, t: float) -> np.ndarray:
+        """Piecewise-constant waypoint schedule."""
+        idx = min(int(t / (self.duration_s / len(self.waypoints))),
+                  len(self.waypoints) - 1)
+        return np.asarray(self.waypoints[idx], dtype=np.float64)
+
+
+@dataclass
+class SteeringCourse:
+    """Water-strider heading course: follow a heading profile."""
+
+    name: str = "steering-course"
+    duration_s: float = 2.0
+    turn_rate_rad_s: float = 1.2
+    success_rms_rad: float = 0.25
+    abort_error_rad: float = 1.5
+
+    def reference(self, t: float) -> float:
+        """Heading reference: straight, then a constant-rate turn."""
+        if t < 0.5:
+            return 0.0
+        return self.turn_rate_rad_s * (t - 0.5)
+
+
+def score_trajectory(
+    errors: np.ndarray,
+    abort_threshold: float,
+    success_rms: float,
+) -> dict:
+    """Common task scoring: completion + RMS/max error."""
+    max_err = float(np.max(errors)) if len(errors) else float("inf")
+    rms = float(np.sqrt(np.mean(errors**2))) if len(errors) else float("inf")
+    aborted = max_err > abort_threshold
+    return {
+        "completed": (not aborted) and rms <= success_rms,
+        "rms": rms,
+        "max": max_err,
+    }

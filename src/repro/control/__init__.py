@@ -1,0 +1,27 @@
+"""Control kernels: LQR, TinyMPC, OSQP-MPC, SE(3) geometric, SMAC."""
+
+from repro.control.dynamics import LinearModel, bee_hover, fly_longitudinal, simulate_closed_loop
+from repro.control.geometric import GeometricCommand, GeometricController
+from repro.control.lqr import LqrController, lqr_gain, solve_dare
+from repro.control.osqp_mpc import OsqpMpc, OsqpResult, condense_mpc
+from repro.control.smac import SlidingModeAdaptiveController, SmacCommand
+from repro.control.tinympc import TinyMpc, TinyMpcResult
+
+__all__ = [
+    "LinearModel",
+    "bee_hover",
+    "fly_longitudinal",
+    "simulate_closed_loop",
+    "GeometricCommand",
+    "GeometricController",
+    "LqrController",
+    "lqr_gain",
+    "solve_dare",
+    "OsqpMpc",
+    "OsqpResult",
+    "condense_mpc",
+    "SlidingModeAdaptiveController",
+    "SmacCommand",
+    "TinyMpc",
+    "TinyMpcResult",
+]

@@ -1,0 +1,27 @@
+"""Core framework: problems, harness, registry, experiments."""
+
+from repro.core.config import DEFAULT_CONFIG, HarnessConfig
+from repro.core.experiment import SweepResults, SweepSpec, characterize_suite, run_sweep
+from repro.core.harness import Harness
+from repro.core.problem import EntoProblem
+from repro.core.results import BenchmarkResult, RunRecord, si_format
+from repro.scalar import F32, F64, ScalarType, parse_scalar, q
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "HarnessConfig",
+    "SweepResults",
+    "SweepSpec",
+    "characterize_suite",
+    "run_sweep",
+    "Harness",
+    "EntoProblem",
+    "BenchmarkResult",
+    "RunRecord",
+    "si_format",
+    "F32",
+    "F64",
+    "ScalarType",
+    "parse_scalar",
+    "q",
+]

@@ -1,0 +1,72 @@
+"""JSON experiment configuration.
+
+The C++ build system configures benchmarks through JSON files carrying
+build-time parameters (Reps, Verbosity, TotalRuns, cache control...).  The
+same schema drives this framework's harness at run time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Union
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Harness orchestration parameters (the paper's Table II, Harness row)."""
+
+    reps: int = 3
+    warmup_reps: int = 1
+    cache_enabled: bool = True
+    verbosity: int = 0
+    total_runs: int = 1
+    #: Inter-repetition idle gap (seconds of simulated time) — long enough
+    #: for the current probe to see distinct ROI windows.
+    inter_rep_gap_s: float = 200e-6
+    #: Fail hard when a kernel does not fit the target's memory instead of
+    #: recording a skipped result.
+    strict_memory: bool = False
+
+    def validated(self) -> "HarnessConfig":
+        if self.reps < 1:
+            raise ValueError("reps must be >= 1")
+        if self.warmup_reps < 0:
+            raise ValueError("warmup_reps must be >= 0")
+        if self.inter_rep_gap_s < 0:
+            raise ValueError("inter_rep_gap_s must be >= 0")
+        return self
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HarnessConfig":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data).validated()
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "HarnessConfig":
+        return cls.from_json(Path(path).read_text())
+
+    def with_cache(self, enabled: bool) -> "HarnessConfig":
+        return HarnessConfig(
+            reps=self.reps,
+            warmup_reps=self.warmup_reps,
+            cache_enabled=enabled,
+            verbosity=self.verbosity,
+            total_runs=self.total_runs,
+            inter_rep_gap_s=self.inter_rep_gap_s,
+            strict_memory=self.strict_memory,
+        )
+
+
+DEFAULT_CONFIG = HarnessConfig()

@@ -1,0 +1,108 @@
+"""Experiment orchestration: kernel x core x cache x scalar sweeps.
+
+This is the driver behind the paper's 400+ measured datapoints: it walks
+the registry, runs each kernel on each requested core with caches on and
+off, and collects the aggregate results that the analysis layer formats
+into the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core import registry
+from repro.core.config import DEFAULT_CONFIG, HarnessConfig
+from repro.core.harness import Harness
+from repro.core.results import BenchmarkResult
+from repro.mcu.arch import CHARACTERIZATION_ARCHS, ArchSpec
+from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+
+
+@dataclass
+class SweepSpec:
+    """What to sweep: kernels, cores, cache states, and factory overrides."""
+
+    kernels: List[str]
+    archs: List[ArchSpec] = field(default_factory=lambda: list(CHARACTERIZATION_ARCHS))
+    caches: Tuple[CacheConfig, ...] = (CACHE_ON, CACHE_OFF)
+    config: HarnessConfig = DEFAULT_CONFIG
+    #: Extra kwargs passed to each kernel factory, keyed by kernel name
+    #: ("*" applies to all).
+    overrides: Dict[str, dict] = field(default_factory=dict)
+
+    def factory_kwargs(self, kernel: str) -> dict:
+        kwargs = dict(self.overrides.get("*", {}))
+        kwargs.update(self.overrides.get(kernel, {}))
+        return kwargs
+
+
+@dataclass
+class SweepResults:
+    """All results of one sweep, with lookup helpers."""
+
+    results: List[BenchmarkResult] = field(default_factory=list)
+
+    def add(self, result: BenchmarkResult) -> None:
+        self.results.append(result)
+
+    def get(
+        self,
+        kernel: str,
+        arch: str,
+        cache: str = "C",
+        scalar: Optional[str] = None,
+    ) -> Optional[BenchmarkResult]:
+        for r in self.results:
+            if r.kernel == kernel and r.arch == arch and r.cache == cache:
+                if scalar is None or r.scalar == scalar:
+                    return r
+        return None
+
+    def kernels(self) -> List[str]:
+        seen: List[str] = []
+        for r in self.results:
+            if r.kernel not in seen:
+                seen.append(r.kernel)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def datapoints(self) -> int:
+        """Number of measured datapoints (runs across all configurations)."""
+        return sum(len(r.runs) for r in self.results)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResults:
+    """Execute a sweep and return the collected results."""
+    out = SweepResults()
+    for arch in spec.archs:
+        for cache in spec.caches:
+            config = spec.config.with_cache(cache.enabled)
+            harness = Harness(arch, config)
+            for kernel in spec.kernels:
+                problem = registry.create(kernel, **spec.factory_kwargs(kernel))
+                result = harness.run(problem, cache)
+                out.add(result)
+                if progress is not None:
+                    status = "ok" if result.fits else "skip"
+                    progress(f"{kernel} on {arch.name}/{cache.label}: {status}")
+    return out
+
+
+def characterize_suite(
+    kernels: Optional[Iterable[str]] = None,
+    config: HarnessConfig = DEFAULT_CONFIG,
+    archs: Optional[List[ArchSpec]] = None,
+) -> SweepResults:
+    """Run the paper's full workload characterization (Table IV)."""
+    spec = SweepSpec(
+        kernels=list(kernels) if kernels is not None else registry.suite(),
+        archs=archs if archs is not None else list(CHARACTERIZATION_ARCHS),
+        config=config,
+    )
+    return run_sweep(spec)

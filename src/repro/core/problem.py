@@ -1,0 +1,111 @@
+"""The :class:`EntoProblem` abstraction.
+
+The C++ framework wraps each kernel in a CRTP problem specification that
+defines how inputs are synthesized or loaded, how the kernel is invoked
+(``solve()``), and how results are validated (``validate()``), plus
+metadata such as dataset needs.  This is the Python equivalent: a small
+abstract base class the harness drives.
+
+A problem instance is *one* fully-parameterized benchmark configuration —
+kernel variant, scalar type, dimensions, dataset — exactly like one
+instantiation of the C++ template.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.scalar import F32, ScalarType
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix
+
+
+class EntoProblem(abc.ABC):
+    """Base class for every benchmark problem.
+
+    Lifecycle, as driven by the harness::
+
+        problem.setup(rng)        # synthesize or load inputs
+        result = problem.solve(counter)   # run kernel, recording ops
+        ok = problem.validate(result)     # task-specific correctness
+
+    Subclasses must set the class attributes below and implement the three
+    lifecycle methods plus the modeling hooks (:meth:`static_mix_base`,
+    :meth:`footprint`).
+    """
+
+    #: Kernel name as it appears in the paper's tables (e.g. ``"p3p"``).
+    name: str = "unnamed"
+    #: Pipeline stage: ``"P"`` (perception), ``"S"`` (state estimation),
+    #: or ``"C"`` (control).
+    stage: str = "?"
+    #: Task category column of Table III (e.g. ``"Abs. Pose"``).
+    category: str = "?"
+    #: Dataset identifier of Table III (e.g. ``"abs-synth"``).
+    dataset_name: str = "?"
+    #: Whether the problem needs externally loaded data (microbenchmarks
+    #: with synthesized inputs set this False).
+    requires_dataset: bool = False
+    #: Whether results are buffered on-device to reduce host interaction.
+    saves_results: bool = False
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0):
+        self.scalar = scalar
+        self.seed = seed
+        self._is_setup = False
+        #: How many algorithmic units (filter updates, control steps...) one
+        #: solve() call performs.  The paper's tables report per-unit
+        #: figures for the high-rate kernels; result formatting divides the
+        #: measured latency/energy by this.
+        self.work_units = 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def setup(self, rng: np.random.Generator) -> None:
+        """Synthesize or load the problem inputs."""
+
+    @abc.abstractmethod
+    def solve(self, counter: OpCounter) -> Any:
+        """Run the kernel on the prepared inputs, recording operations."""
+
+    @abc.abstractmethod
+    def validate(self, result: Any) -> bool:
+        """Task-specific correctness check of a solve() result."""
+
+    # -- modeling hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def static_mix_base(self) -> StaticMix:
+        """Composed static code model (base = M4 build)."""
+
+    @abc.abstractmethod
+    def footprint(self) -> Footprint:
+        """Flash + SRAM demand of this configuration."""
+
+    def flop_estimate(self) -> Optional[int]:
+        """Static FLOP tally as the papers the suite critiques would count.
+
+        Returns None for kernels where the literature does not publish
+        FLOP-based feasibility claims.  Used by Case Study 3.
+        """
+        return None
+
+    # -- conveniences --------------------------------------------------------
+
+    def ensure_setup(self, rng: Optional[np.random.Generator] = None) -> None:
+        if not self._is_setup:
+            self.setup(rng if rng is not None else np.random.default_rng(self.seed))
+            self._is_setup = True
+
+    @property
+    def variant_label(self) -> str:
+        """Display label including scalar type, e.g. ``p3p[f32]``."""
+        return f"{self.name}[{self.scalar.name}]"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.variant_label}>"

@@ -1,0 +1,89 @@
+"""Kernel registry.
+
+Every benchmark problem registers a factory here under its table name
+(``fastbrief``, ``fly-ekf (seq)``, ``rel-lo-ransac``, ...).  The
+characterization experiments iterate the registry to sweep the full suite,
+and users add new kernels by registering new factories — the framework's
+"modular and extensible" design goal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.core.problem import EntoProblem
+
+_FACTORIES: Dict[str, Callable[..., EntoProblem]] = {}
+_ORDER: List[str] = []
+
+
+def register(name: str):
+    """Decorator registering a problem factory under ``name``."""
+
+    def deco(factory: Callable[..., EntoProblem]):
+        if name in _FACTORIES:
+            raise ValueError(f"kernel {name!r} already registered")
+        _FACTORIES[name] = factory
+        _ORDER.append(name)
+        return factory
+
+    return deco
+
+
+def create(name: str, **kwargs) -> EntoProblem:
+    """Instantiate a registered problem by table name."""
+    _ensure_loaded()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def names() -> List[str]:
+    """All registered kernel names, in suite (table) order."""
+    _ensure_loaded()
+    return list(_ORDER)
+
+
+def by_stage(stage: str) -> List[str]:
+    """Kernel names for one pipeline stage ('P', 'S', or 'C')."""
+    _ensure_loaded()
+    out = []
+    for name in _ORDER:
+        problem = _FACTORIES[name]()
+        if problem.stage == stage:
+            out.append(name)
+    return out
+
+
+def is_registered(name: str) -> bool:
+    _ensure_loaded()
+    return name in _FACTORIES
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import all kernel packages so their registrations run."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Imports are deferred to avoid circular imports at package init.
+    import repro.perception.suite  # noqa: F401
+    import repro.attitude.suite  # noqa: F401
+    import repro.ekf.suite  # noqa: F401
+    import repro.pose.suite  # noqa: F401
+    import repro.control.suite  # noqa: F401
+    import repro.factorgraph.suite  # noqa: F401
+    import repro.nn.suite  # noqa: F401
+
+
+def suite(stages: Iterable[str] = ("P", "S", "C")) -> List[str]:
+    """The full 31-kernel suite in table order, filtered by stage."""
+    wanted = set(stages)
+    return [n for n in names() if create(n).stage in wanted]

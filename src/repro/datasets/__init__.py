@@ -1,0 +1,5 @@
+"""Synthetic workload generators replacing the paper's recorded datasets."""
+
+from repro.datasets import images, imu, pose, trajectories
+
+__all__ = ["images", "imu", "pose", "trajectories"]

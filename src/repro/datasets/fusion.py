@@ -1,0 +1,147 @@
+"""Synthetic sensor-fusion datasets for the EKF kernels.
+
+* ``fly-synth`` — a RoboFly-style hover/translate flight: time-of-flight
+  altitude, optical-flow rate, and IMU pitch observations of a 4-state
+  longitudinal model (altitude, horizontal velocity, vertical velocity,
+  pitch).  Sensors arrive asynchronously at different rates, which is what
+  the sequential/truncated update strategies of [65] exist to handle.
+* ``bee-hil``  — a RoboBee-style hardware-in-the-loop trace: ToF + IMU
+  observations of a 10-state model (position, velocity, attitude, plus a
+  ToF bias state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class FusionSample:
+    """One time step: true state plus whichever sensors fired."""
+
+    t: float
+    true_state: np.ndarray
+    imu: Optional[np.ndarray]  # always present (highest rate)
+    tof: Optional[float]
+    flow: Optional[float]
+
+
+@dataclass(frozen=True)
+class FusionSequence:
+    name: str
+    dt: float
+    samples: List[FusionSample]
+    state_dim: int
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def fly_synth(
+    n: int = 200,
+    rate_hz: float = 500.0,
+    tof_divisor: int = 5,
+    flow_divisor: int = 2,
+    seed: int = 0,
+) -> FusionSequence:
+    """RoboFly 4-state flight: x = [z, vx, vz, theta].
+
+    The robot oscillates gently around a 0.5 m hover while translating.
+    ToF fires every ``tof_divisor`` steps and optical flow every
+    ``flow_divisor`` steps — asynchronous, like the real avionics.
+    """
+    rng = np.random.default_rng(seed)
+    dt = 1.0 / rate_hz
+    t = np.arange(n) * dt
+    z = 0.5 + 0.08 * np.sin(2 * np.pi * 0.8 * t)
+    vx = 0.3 * np.sin(2 * np.pi * 0.5 * t)
+    vz = np.gradient(z, dt)
+    theta = 0.1 * np.sin(2 * np.pi * 1.3 * t)
+    theta_dot = np.gradient(theta, dt)
+
+    samples = []
+    for i in range(n):
+        state = np.array([z[i], vx[i], vz[i], theta[i]])
+        imu = np.array(
+            [
+                theta_dot[i] + rng.normal(0, 0.02),  # pitch rate (gyro)
+                theta[i] + rng.normal(0, 0.01),  # pitch (from accel tilt)
+            ]
+        )
+        tof = None
+        if i % tof_divisor == 0:
+            # Range along the body axis: z / cos(theta), plus noise.
+            tof = z[i] / np.cos(theta[i]) + rng.normal(0, 0.004)
+        flow = None
+        if i % flow_divisor == 0:
+            # Ventral optical flow: vx / z - theta_dot, plus noise.
+            flow = vx[i] / z[i] - theta_dot[i] + rng.normal(0, 0.05)
+        samples.append(FusionSample(t[i], state, imu, tof, flow))
+    return FusionSequence("fly-synth", dt, samples, state_dim=4)
+
+
+def bee_hil(
+    n: int = 100,
+    rate_hz: float = 250.0,
+    tof_divisor: int = 2,
+    seed: int = 0,
+) -> FusionSequence:
+    """RoboBee 10-state HIL trace: x = [p(3), v(3), att(3), tof_bias].
+
+    IMU provides body rates and specific force each step; ToF provides a
+    biased altitude range at a lower rate.
+    """
+    rng = np.random.default_rng(seed)
+    dt = 1.0 / rate_hz
+    t = np.arange(n) * dt
+    p = np.column_stack(
+        [
+            0.05 * np.sin(2 * np.pi * 0.6 * t),
+            0.05 * np.sin(2 * np.pi * 0.4 * t + 1.0),
+            0.4 + 0.05 * np.sin(2 * np.pi * 0.9 * t),
+        ]
+    )
+    v = np.gradient(p, dt, axis=0)
+    att = np.column_stack(
+        [
+            0.08 * np.sin(2 * np.pi * 2.0 * t),
+            0.06 * np.sin(2 * np.pi * 1.7 * t + 0.4),
+            0.05 * np.sin(2 * np.pi * 0.3 * t),
+        ]
+    )
+    att_dot = np.gradient(att, dt, axis=0)
+    a_lin = np.gradient(v, dt, axis=0)
+    tof_bias = 0.015
+
+    samples = []
+    for i in range(n):
+        state = np.concatenate([p[i], v[i], att[i], [tof_bias]])
+        imu = np.concatenate(
+            [
+                att_dot[i] + rng.normal(0, 0.02, 3),  # body rates
+                a_lin[i] + np.array([0, 0, GRAVITY]) + rng.normal(0, 0.05, 3),
+            ]
+        )
+        tof = None
+        if i % tof_divisor == 0:
+            roll, pitch = att[i, 0], att[i, 1]
+            tof = p[i, 2] / (np.cos(roll) * np.cos(pitch)) + tof_bias
+            tof += rng.normal(0, 0.003)
+        samples.append(FusionSample(t[i], state, imu, tof, None))
+    return FusionSequence("bee-hil", dt, samples, state_dim=10)
+
+
+DATASETS: Dict[str, callable] = {"fly-synth": fly_synth, "bee-hil": bee_hil}
+
+
+def load(name: str, **kwargs) -> FusionSequence:
+    try:
+        gen = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown fusion dataset {name!r}; known: {sorted(DATASETS)}") from None
+    return gen(**kwargs)

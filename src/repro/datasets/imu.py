@@ -1,0 +1,211 @@
+"""Synthetic IMU / MARG trajectory datasets.
+
+Case Study 2 evaluates attitude filters on three motion profiles:
+
+* ``bee-hover``        — RoboBee hovering (synthesized from motion capture
+  in the paper): small, fast attitude oscillations around level.
+* ``strider-straight`` — the GammaBot water strider striding in a straight
+  line: forward surge oscillation, tiny attitude excursions.
+* ``strider-steer``    — GammaBot performing an active steering maneuver:
+  large, sustained yaw rates — the hardest profile for narrow fixed-point
+  formats, because gyro readings in rad/s are effectively unbounded.
+
+Each dataset provides gyro (rad/s), accelerometer (g-normalized), and
+magnetometer (unit field) samples plus ground-truth quaternions, generated
+by differentiating a smooth Euler-angle trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+GRAVITY = 9.81
+# Reference magnetic field direction (unit vector, NED-ish with dip).
+MAG_REFERENCE = np.array([0.43, 0.0, -0.90])
+MAG_REFERENCE = MAG_REFERENCE / np.linalg.norm(MAG_REFERENCE)
+
+
+def quat_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """ZYX Euler angles to quaternion (w, x, y, z)."""
+    cr, sr = np.cos(roll / 2), np.sin(roll / 2)
+    cp, sp = np.cos(pitch / 2), np.sin(pitch / 2)
+    cy, sy = np.cos(yaw / 2), np.sin(yaw / 2)
+    return np.array(
+        [
+            cr * cp * cy + sr * sp * sy,
+            sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy,
+            cr * cp * sy - sr * sp * cy,
+        ]
+    )
+
+
+def quat_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix (body→world) from quaternion (w, x, y, z)."""
+    w, x, y, z = q
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def quat_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    aw, ax, ay, az = a
+    bw, bx, by, bz = b
+    return np.array(
+        [
+            aw * bw - ax * bx - ay * by - az * bz,
+            aw * bx + ax * bw + ay * bz - az * by,
+            aw * by - ax * bz + ay * bw + az * bx,
+            aw * bz + ax * by - ay * bx + az * bw,
+        ]
+    )
+
+
+def quat_conj(q: np.ndarray) -> np.ndarray:
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def quat_angle_deg(a: np.ndarray, b: np.ndarray) -> float:
+    """Rotation angle between two attitudes, in degrees."""
+    d = quat_mul(quat_conj(a), b)
+    w = min(1.0, abs(float(d[0])))
+    return float(np.degrees(2.0 * np.arccos(w)))
+
+
+@dataclass(frozen=True)
+class ImuSequence:
+    """A MARG dataset: sensors plus ground truth at a fixed rate."""
+
+    name: str
+    dt: float
+    gyro: np.ndarray  # (N, 3) rad/s
+    accel: np.ndarray  # (N, 3) in g units (normalized to |g| ~ 1)
+    mag: np.ndarray  # (N, 3) unit field
+    truth: np.ndarray  # (N, 4) quaternions (w, x, y, z)
+
+    def __len__(self) -> int:
+        return len(self.gyro)
+
+    @property
+    def rate_hz(self) -> float:
+        return 1.0 / self.dt
+
+    def max_sensor_magnitude(self) -> float:
+        """Largest absolute value across all sensor channels.
+
+        Fixed-point format feasibility is bounded by this (Case Study 2).
+        """
+        return float(
+            max(np.abs(self.gyro).max(), np.abs(self.accel).max(), np.abs(self.mag).max())
+        )
+
+
+def _euler_trajectory_to_sequence(
+    name: str,
+    times: np.ndarray,
+    roll: np.ndarray,
+    pitch: np.ndarray,
+    yaw: np.ndarray,
+    lin_acc_body: np.ndarray,
+    gyro_noise: float,
+    accel_noise: float,
+    mag_noise: float,
+    seed: int,
+) -> ImuSequence:
+    rng = np.random.default_rng(seed)
+    dt = float(times[1] - times[0])
+    n = len(times)
+    truth = np.array([quat_from_euler(roll[i], pitch[i], yaw[i]) for i in range(n)])
+
+    gyro = np.zeros((n, 3))
+    for i in range(n):
+        j = min(i + 1, n - 1)
+        k = max(i - 1, 0)
+        dq = quat_mul(quat_conj(truth[k]), truth[j])
+        span = (j - k) * dt
+        angle = 2.0 * np.arctan2(np.linalg.norm(dq[1:]), dq[0])
+        axis = dq[1:] / (np.linalg.norm(dq[1:]) + 1e-12)
+        gyro[i] = axis * angle / max(span, dt)
+
+    accel = np.zeros((n, 3))
+    mag = np.zeros((n, 3))
+    g_world = np.array([0.0, 0.0, -1.0])  # normalized gravity (g units)
+    for i in range(n):
+        r = quat_to_matrix(truth[i])
+        # Specific force in body frame: -g rotated into body, plus motion.
+        accel[i] = r.T @ (-g_world) + lin_acc_body[i] / GRAVITY
+        mag[i] = r.T @ MAG_REFERENCE
+
+    gyro += rng.normal(0, gyro_noise, gyro.shape)
+    accel += rng.normal(0, accel_noise, accel.shape)
+    mag += rng.normal(0, mag_noise, mag.shape)
+    return ImuSequence(name, dt, gyro, accel, mag, truth)
+
+
+def bee_hover(n: int = 400, rate_hz: float = 1000.0, seed: int = 0) -> ImuSequence:
+    """RoboBee hover: small fast wobbles at flapping-body timescales."""
+    dt = 1.0 / rate_hz
+    t = np.arange(n) * dt
+    roll = 0.06 * np.sin(2 * np.pi * 11.0 * t) + 0.02 * np.sin(2 * np.pi * 3.1 * t)
+    pitch = 0.05 * np.sin(2 * np.pi * 9.0 * t + 0.7)
+    yaw = 0.03 * np.sin(2 * np.pi * 1.7 * t)
+    lin = np.zeros((n, 3))
+    lin[:, 2] = 0.4 * np.sin(2 * np.pi * 18.0 * t)  # heave from flapping
+    return _euler_trajectory_to_sequence(
+        "bee-hover", t, roll, pitch, yaw, lin,
+        gyro_noise=0.02, accel_noise=0.015, mag_noise=0.01, seed=seed,
+    )
+
+
+def strider_straight(n: int = 400, rate_hz: float = 500.0, seed: int = 0) -> ImuSequence:
+    """GammaBot striding straight: surge oscillation, small attitude motion."""
+    dt = 1.0 / rate_hz
+    t = np.arange(n) * dt
+    roll = 0.015 * np.sin(2 * np.pi * 6.0 * t)
+    pitch = 0.04 * np.sin(2 * np.pi * 12.0 * t) + 0.02
+    yaw = 0.01 * np.sin(2 * np.pi * 0.8 * t)
+    lin = np.zeros((n, 3))
+    lin[:, 0] = 2.5 * np.sin(2 * np.pi * 12.0 * t)  # stroke surge
+    return _euler_trajectory_to_sequence(
+        "strider-straight", t, roll, pitch, yaw, lin,
+        gyro_noise=0.03, accel_noise=0.03, mag_noise=0.01, seed=seed,
+    )
+
+
+def strider_steer(n: int = 400, rate_hz: float = 500.0, seed: int = 0) -> ImuSequence:
+    """GammaBot steering: sustained large yaw rate — the fixed-point stressor."""
+    dt = 1.0 / rate_hz
+    t = np.arange(n) * dt
+    roll = 0.10 * np.sin(2 * np.pi * 5.0 * t)
+    pitch = 0.04 * np.sin(2 * np.pi * 10.0 * t)
+    # An aggressive turn: yaw rate peaks near 14 rad/s.
+    yaw = 6.0 * (1.0 - np.cos(2 * np.pi * 1.2 * t)) / (2 * np.pi * 1.2) * 2.4
+    lin = np.zeros((n, 3))
+    lin[:, 0] = 1.2 * np.sin(2 * np.pi * 10.0 * t)
+    lin[:, 1] = 1.2 * np.sin(2 * np.pi * 1.2 * t)  # centripetal
+    return _euler_trajectory_to_sequence(
+        "strider-steer", t, roll, pitch, yaw, lin,
+        gyro_noise=0.03, accel_noise=0.03, mag_noise=0.01, seed=seed,
+    )
+
+
+DATASETS: Dict[str, Callable[..., ImuSequence]] = {
+    "bee-hover": bee_hover,
+    "strider-straight": strider_straight,
+    "strider-steer": strider_steer,
+}
+
+
+def load(name: str, **kwargs) -> ImuSequence:
+    try:
+        gen = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown IMU dataset {name!r}; known: {sorted(DATASETS)}") from None
+    return gen(**kwargs)

@@ -1,0 +1,249 @@
+"""Synthetic geometric pose-estimation problems.
+
+Case Study 4 (and the Table III/IV pose rows) evaluate solvers on
+synthetically generated problems "as commonly done in pose estimation
+literature": random scenes, controlled pixel noise, controlled outlier
+ratios, and optional structural priors (known gravity direction, planar
+motion) that the upright solver family exploits.
+
+Conventions: cameras look down +z; image points are normalized coordinates
+(pixel noise is converted through a nominal focal length); the world
+vertical is the camera y-axis for "upright" problems, so upright rotations
+are pure y-axis (yaw) rotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Nominal focal length (pixels) used to convert pixel noise to normalized
+#: image coordinates — matches small-sensor optics like the NanEyeC.
+NOMINAL_FOCAL_PX = 500.0
+
+
+def random_rotation(rng: np.random.Generator, max_angle_rad: float = np.pi) -> np.ndarray:
+    """Uniform random rotation, optionally bounded in angle."""
+    axis = rng.normal(size=3)
+    axis /= np.linalg.norm(axis)
+    angle = rng.uniform(-max_angle_rad, max_angle_rad)
+    return axis_angle(axis, angle)
+
+
+def axis_angle(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation matrix from a unit axis and an angle."""
+    axis = np.asarray(axis, dtype=np.float64)
+    k = np.array(
+        [[0, -axis[2], axis[1]], [axis[2], 0, -axis[0]], [-axis[1], axis[0], 0]]
+    )
+    return np.eye(3) + np.sin(angle) * k + (1 - np.cos(angle)) * (k @ k)
+
+
+def yaw_rotation(angle: float) -> np.ndarray:
+    """Rotation about the camera y-axis (the upright/gravity axis)."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+
+
+def rotation_angle_deg(r1: np.ndarray, r2: np.ndarray) -> float:
+    """Geodesic distance between two rotations, degrees."""
+    cos = (np.trace(r1.T @ r2) - 1.0) / 2.0
+    return float(np.degrees(np.arccos(np.clip(cos, -1.0, 1.0))))
+
+
+def translation_direction_error_deg(t1: np.ndarray, t2: np.ndarray) -> float:
+    """Angle between two translation directions, degrees (scale-free)."""
+    a = t1 / (np.linalg.norm(t1) + 1e-12)
+    b = t2 / (np.linalg.norm(t2) + 1e-12)
+    return float(np.degrees(np.arccos(np.clip(abs(np.dot(a, b)), -1.0, 1.0))))
+
+
+def _project(points_cam: np.ndarray) -> np.ndarray:
+    """Pinhole projection to normalized image coordinates."""
+    return points_cam[:, :2] / points_cam[:, 2:3]
+
+
+def _add_pixel_noise(points: np.ndarray, noise_px: float, rng) -> np.ndarray:
+    if noise_px <= 0:
+        return points
+    return points + rng.normal(0, noise_px / NOMINAL_FOCAL_PX, size=points.shape)
+
+
+@dataclass
+class AbsolutePoseProblem:
+    """World points + their image observations; recover camera pose.
+
+    Pose convention: ``x_cam = R @ x_world + t``.
+    """
+
+    points_world: np.ndarray  # (N, 3)
+    points_image: np.ndarray  # (N, 2) normalized coordinates
+    r_true: np.ndarray
+    t_true: np.ndarray
+    inlier_mask: np.ndarray  # (N,) bool
+    gravity_body: np.ndarray  # gravity (world y-axis) seen in camera frame
+
+    @property
+    def n(self) -> int:
+        return len(self.points_world)
+
+
+def make_absolute_problem(
+    n_points: int = 20,
+    noise_px: float = 0.5,
+    outlier_ratio: float = 0.0,
+    upright: bool = False,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> AbsolutePoseProblem:
+    """Random absolute-pose problem (abs-synth / up-abs-synth datasets)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    if upright:
+        r = yaw_rotation(rng.uniform(-np.pi, np.pi))
+    else:
+        r = random_rotation(rng)
+    t = rng.uniform(-1.0, 1.0, size=3)
+    t[2] = abs(t[2]) + 4.0  # keep the scene in front of the camera
+
+    # World points sampled so their camera-frame depth is positive.
+    pts_cam = np.column_stack(
+        [
+            rng.uniform(-2.0, 2.0, n_points),
+            rng.uniform(-2.0, 2.0, n_points),
+            rng.uniform(3.0, 9.0, n_points),
+        ]
+    )
+    pts_world = (pts_cam - t) @ r  # inverse transform: R^T (x_cam - t)
+    img = _add_pixel_noise(_project(pts_cam), noise_px, rng)
+
+    inliers = np.ones(n_points, dtype=bool)
+    n_out = int(round(outlier_ratio * n_points))
+    if n_out > 0:
+        idx = rng.choice(n_points, size=n_out, replace=False)
+        img[idx] = rng.uniform(-0.6, 0.6, size=(n_out, 2))
+        inliers[idx] = False
+
+    gravity_body = r @ np.array([0.0, 1.0, 0.0])
+    return AbsolutePoseProblem(pts_world, img, r, t, inliers, gravity_body)
+
+
+@dataclass
+class RelativePoseProblem:
+    """Two-view correspondences; recover relative pose (R, t up to scale).
+
+    Convention: ``x2_cam = R @ x1_cam + t``.
+    """
+
+    x1: np.ndarray  # (N, 2) normalized coordinates, view 1
+    x2: np.ndarray  # (N, 2) normalized coordinates, view 2
+    r_true: np.ndarray
+    t_true: np.ndarray
+    inlier_mask: np.ndarray
+    planar: bool
+    upright: bool
+
+    @property
+    def n(self) -> int:
+        return len(self.x1)
+
+    def essential_true(self) -> np.ndarray:
+        t = self.t_true
+        tx = np.array([[0, -t[2], t[1]], [t[2], 0, -t[0]], [-t[1], t[0], 0]])
+        return tx @ self.r_true
+
+
+def make_relative_problem(
+    n_points: int = 20,
+    noise_px: float = 0.5,
+    outlier_ratio: float = 0.0,
+    upright: bool = False,
+    planar: bool = False,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> RelativePoseProblem:
+    """Random relative-pose problem (rel-synth / str-rel-synth datasets).
+
+    ``upright`` restricts rotation to yaw (gravity known); ``planar``
+    additionally restricts translation to the ground (xz) plane — the water
+    strider's motion model.
+    """
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    if upright or planar:
+        r = yaw_rotation(rng.uniform(-0.8, 0.8))
+    else:
+        r = random_rotation(rng, max_angle_rad=0.8)
+    t = rng.uniform(-1.0, 1.0, size=3)
+    if planar:
+        t[1] = 0.0
+    nrm = np.linalg.norm(t)
+    if nrm < 0.3:  # avoid degenerate near-zero baselines
+        t = t / (nrm + 1e-12) * 0.5
+    pts1 = np.column_stack(
+        [
+            rng.uniform(-2.0, 2.0, n_points),
+            rng.uniform(-2.0, 2.0, n_points),
+            rng.uniform(4.0, 10.0, n_points),
+        ]
+    )
+    pts2 = pts1 @ r.T + t
+    x1 = _add_pixel_noise(_project(pts1), noise_px, rng)
+    x2 = _add_pixel_noise(_project(pts2), noise_px, rng)
+
+    inliers = np.ones(n_points, dtype=bool)
+    n_out = int(round(outlier_ratio * n_points))
+    if n_out > 0:
+        idx = rng.choice(n_points, size=n_out, replace=False)
+        x2[idx] = rng.uniform(-0.5, 0.5, size=(n_out, 2))
+        inliers[idx] = False
+    return RelativePoseProblem(x1, x2, r, t, inliers, planar, upright)
+
+
+@dataclass
+class HomographyProblem:
+    """Planar-scene correspondences; recover the homography."""
+
+    x1: np.ndarray
+    x2: np.ndarray
+    h_true: np.ndarray
+    inlier_mask: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.x1)
+
+
+def make_homography_problem(
+    n_points: int = 20,
+    noise_px: float = 0.5,
+    outlier_ratio: float = 0.0,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> HomographyProblem:
+    """Random planar-scene problem (homog-synth dataset)."""
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    r = random_rotation(rng, max_angle_rad=0.5)
+    t = rng.uniform(-0.8, 0.8, size=3)
+    plane_n = np.array([0.0, 0.0, 1.0])
+    plane_d = 6.0
+    h = r + np.outer(t, plane_n) / plane_d
+
+    pts1 = np.column_stack(
+        [
+            rng.uniform(-2.0, 2.0, n_points),
+            rng.uniform(-2.0, 2.0, n_points),
+            np.full(n_points, plane_d),
+        ]
+    )
+    pts2 = pts1 @ r.T + t
+    x1 = _add_pixel_noise(_project(pts1), noise_px, rng)
+    x2 = _add_pixel_noise(_project(pts2), noise_px, rng)
+
+    inliers = np.ones(n_points, dtype=bool)
+    n_out = int(round(outlier_ratio * n_points))
+    if n_out > 0:
+        idx = rng.choice(n_points, size=n_out, replace=False)
+        x2[idx] = rng.uniform(-0.5, 0.5, size=(n_out, 2))
+        inliers[idx] = False
+    return HomographyProblem(x1, x2, h / h[2, 2], inliers)

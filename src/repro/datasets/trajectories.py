@@ -1,0 +1,81 @@
+"""Reference trajectories and state sequences for the control kernels.
+
+``fly-traj`` and ``bee-traj`` in the paper's dataset column: hover
+set-points, step references, and smooth figure-eight paths, sampled at the
+control loop rate, plus randomized initial state perturbations so each
+controller actually has work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReferenceTrajectory:
+    """Time-indexed reference states (and optional feedforward inputs)."""
+
+    name: str
+    dt: float
+    states: np.ndarray  # (N, nx)
+    inputs: np.ndarray  # (N, nu) feedforward (possibly zeros)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def window(self, start: int, horizon: int) -> np.ndarray:
+        """A horizon-length slice of reference states (padded at the end)."""
+        idx = np.minimum(np.arange(start, start + horizon), len(self.states) - 1)
+        return self.states[idx]
+
+
+def hover(nx: int, nu: int, n: int = 100, dt: float = 0.002) -> ReferenceTrajectory:
+    """All-zero regulation reference (hover at the origin)."""
+    return ReferenceTrajectory("hover", dt, np.zeros((n, nx)), np.zeros((n, nu)))
+
+
+def step(nx: int, nu: int, n: int = 100, dt: float = 0.002,
+         channel: int = 0, amplitude: float = 0.1) -> ReferenceTrajectory:
+    """Step reference on one state channel at the halfway point."""
+    states = np.zeros((n, nx))
+    states[n // 2 :, channel] = amplitude
+    return ReferenceTrajectory("step", dt, states, np.zeros((n, nu)))
+
+
+def figure_eight(nx: int, nu: int, n: int = 200, dt: float = 0.002,
+                 amplitude: float = 0.15, period_s: float = 1.2,
+                 velocity_offset: int = 0) -> ReferenceTrajectory:
+    """Lissajous figure-eight on the first two position channels.
+
+    When ``velocity_offset`` is non-zero, the matching velocity reference
+    is written ``velocity_offset`` channels after each position channel
+    (e.g. 3 for a [p(3), v(3)] state) so trackers get feedforward instead
+    of lagging a moving zero-velocity target.
+    """
+    t = np.arange(n) * dt
+    states = np.zeros((n, nx))
+    w = 2 * np.pi / period_s
+    states[:, 0] = amplitude * np.sin(w * t)
+    if nx > 1:
+        states[:, 1] = amplitude * np.sin(2 * w * t) / 2
+    if velocity_offset:
+        states[:, velocity_offset] = amplitude * w * np.cos(w * t)
+        if nx > velocity_offset + 1:
+            states[:, 1 + velocity_offset] = amplitude * w * np.cos(2 * w * t)
+    return ReferenceTrajectory("figure-eight", dt, states, np.zeros((n, nu)))
+
+
+GENERATORS: Dict[str, Callable[..., ReferenceTrajectory]] = {
+    "hover": hover,
+    "step": step,
+    "figure-eight": figure_eight,
+}
+
+
+def perturbed_initial_state(nx: int, scale: float = 0.05, seed: int = 0) -> np.ndarray:
+    """A randomized off-reference initial condition."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, scale, size=nx)

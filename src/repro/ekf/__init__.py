@@ -1,0 +1,15 @@
+"""Extended Kalman Filter kernels: RoboFly 4-state, RoboBee 10-state."""
+
+from repro.ekf.base import SEQUENTIAL, STRATEGIES, SYNC, TRUNCATED, ExtendedKalmanFilter
+from repro.ekf.bee_ekf import BeeComplementaryEkf
+from repro.ekf.fly_ekf import FlyEkf
+
+__all__ = [
+    "SEQUENTIAL",
+    "STRATEGIES",
+    "SYNC",
+    "TRUNCATED",
+    "ExtendedKalmanFilter",
+    "BeeComplementaryEkf",
+    "FlyEkf",
+]

@@ -1,0 +1,146 @@
+"""Benchmark problems for the Kalman-filter kernels.
+
+Registers ``fly-ekf (sync)``, ``fly-ekf (seq)``, ``fly-ekf (trunc)``, and
+``bee-ceekf`` — the Table III Kalman Filt. rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import EntoProblem
+from repro.core.registry import register
+from repro.datasets import fusion
+from repro.ekf.bee_ekf import BeeComplementaryEkf
+from repro.ekf.fly_ekf import FlyEkf
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix, compose
+from repro.scalar import F32, ScalarType
+
+
+class FlyEkfProblem(EntoProblem):
+    """RoboFly 4-state EKF over the fly-synth sequence."""
+
+    stage = "S"
+    category = "Kalman Filt."
+    dataset_name = "fly-synth"
+    strategy = "sync"
+
+    #: Acceptable tracking error (meters / radians) for validation.
+    MAX_Z_RMSE = 0.02
+    MAX_THETA_RMSE = 0.02
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0, n_samples: int = 200):
+        super().__init__(scalar, seed)
+        self.n_samples = n_samples
+        self.sequence: Optional[fusion.FusionSequence] = None
+        self.last_errors: Optional[np.ndarray] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.sequence = fusion.fly_synth(n=self.n_samples, seed=self.seed)
+        self.work_units = len(self.sequence)
+
+    def solve(self, counter: OpCounter):
+        seq = self.sequence
+        filt = FlyEkf(strategy=self.strategy)
+        errors = np.empty((len(seq), 4))
+        for i, s in enumerate(seq.samples):
+            x = filt.step(seq.dt, counter, s.imu, s.tof, s.flow)
+            errors[i] = x - s.true_state
+        self.last_errors = errors
+        return filt.state
+
+    def validate(self, result) -> bool:
+        tail = self.last_errors[len(self.last_errors) // 2 :]
+        z_rmse = float(np.sqrt(np.mean(tail[:, 0] ** 2)))
+        theta_rmse = float(np.sqrt(np.mean(tail[:, 3] ** 2)))
+        return z_rmse <= self.MAX_Z_RMSE and theta_rmse <= self.MAX_THETA_RMSE
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(
+            ("ekf_predict", "ekf_update", "small_matmul", "matrix_inverse_small",
+             "experiment_io", "harness_runtime")
+        )
+
+    def footprint(self) -> Footprint:
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes, data_bytes=1024)
+
+    def flop_estimate(self) -> int:
+        return FlyEkf.flops_per_update(self.strategy) * self.work_units
+
+
+class FlyEkfSyncProblem(FlyEkfProblem):
+    name = "fly-ekf (sync)"
+    strategy = "sync"
+
+
+class FlyEkfSeqProblem(FlyEkfProblem):
+    name = "fly-ekf (seq)"
+    strategy = "seq"
+
+
+class FlyEkfTruncProblem(FlyEkfProblem):
+    name = "fly-ekf (trunc)"
+    strategy = "trunc"
+
+
+class BeeCeekfProblem(EntoProblem):
+    """RoboBee 10-state complementary EKF over the bee-hil sequence."""
+
+    name = "bee-ceekf"
+    stage = "S"
+    category = "Kalman Filt."
+    dataset_name = "bee-hil"
+
+    MAX_POS_RMSE = 0.12
+    MAX_ATT_RMSE = 0.05
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0, n_samples: int = 60):
+        super().__init__(scalar, seed)
+        self.n_samples = n_samples
+        self.sequence: Optional[fusion.FusionSequence] = None
+        self.last_errors: Optional[np.ndarray] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.sequence = fusion.bee_hil(n=self.n_samples, seed=self.seed)
+        self.work_units = len(self.sequence)
+
+    def solve(self, counter: OpCounter):
+        seq = self.sequence
+        filt = BeeComplementaryEkf()
+        errors = np.empty((len(seq), 10))
+        for i, s in enumerate(seq.samples):
+            x = filt.step(seq.dt, counter, s.imu, s.tof)
+            errors[i] = x - s.true_state
+        self.last_errors = errors
+        return filt.state
+
+    def validate(self, result) -> bool:
+        tail = self.last_errors[len(self.last_errors) // 2 :]
+        pos_rmse = float(np.sqrt(np.mean(tail[:, 0:3] ** 2)))
+        att_rmse = float(np.sqrt(np.mean(tail[:, 6:9] ** 2)))
+        return pos_rmse <= self.MAX_POS_RMSE and att_rmse <= self.MAX_ATT_RMSE
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(
+            ("ekf_predict", "ekf_update", "dense_matmul", "lu_solver",
+             "matrix_inverse_small", "experiment_io", "harness_runtime"),
+            repeat={"dense_matmul": 2},
+        )
+
+    def footprint(self) -> Footprint:
+        # 10x10 covariance + Jacobian workspaces (doubles in the generic
+        # framework) plus the dynamic-allocation arena.
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes, data_bytes=6144)
+
+    def flop_estimate(self) -> int:
+        return BeeComplementaryEkf.flops_per_update() * self.work_units
+
+
+register("fly-ekf (sync)")(FlyEkfSyncProblem)
+register("fly-ekf (seq)")(FlyEkfSeqProblem)
+register("fly-ekf (trunc)")(FlyEkfTruncProblem)
+register("bee-ceekf")(BeeCeekfProblem)

@@ -1,0 +1,23 @@
+"""Factor-graph trajectory smoothing (the paper's first planned expansion)."""
+
+from repro.factorgraph.axle import (
+    ChainFactorGraph,
+    OdometryFactor,
+    PriorFactor,
+    SmoothingResult,
+    relative_pose,
+    smooth,
+    solve_dense_for_reference,
+    wrap_angle,
+)
+
+__all__ = [
+    "ChainFactorGraph",
+    "OdometryFactor",
+    "PriorFactor",
+    "SmoothingResult",
+    "relative_pose",
+    "smooth",
+    "solve_dense_for_reference",
+    "wrap_angle",
+]

@@ -1,0 +1,117 @@
+"""Benchmark problem for the AXLE trajectory-smoothing kernel.
+
+The first of the paper's "planned near-term expansions", registered as
+``axle-smooth`` so it participates in every sweep like the original 31.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import EntoProblem
+from repro.core.registry import register
+from repro.factorgraph.axle import (
+    ChainFactorGraph,
+    SmoothingResult,
+    relative_pose,
+    smooth,
+    wrap_angle,
+)
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix, compose
+from repro.scalar import F32, ScalarType
+
+
+def make_smoothing_problem(
+    n_poses: int = 40,
+    odom_noise: tuple = (0.01, 0.01, 0.02),
+    prior_every: int = 10,
+    prior_noise: float = 0.005,
+    seed: int = 0,
+):
+    """A wandering planar trajectory with noisy odometry + sparse fixes.
+
+    Returns (graph, initial_guess, ground_truth).  The initial guess is
+    dead-reckoned from the noisy odometry — exactly what a robot has
+    before smoothing.
+    """
+    rng = np.random.default_rng(seed)
+    truth = np.zeros((n_poses, 3))
+    for i in range(1, n_poses):
+        step = np.array([0.05, 0.0, rng.uniform(-0.15, 0.15)])
+        theta = truth[i - 1, 2]
+        truth[i, 0] = truth[i - 1, 0] + step[0] * np.cos(theta)
+        truth[i, 1] = truth[i - 1, 1] + step[0] * np.sin(theta)
+        truth[i, 2] = wrap_angle(theta + step[2])
+
+    graph = ChainFactorGraph(n_poses)
+    dead_reckoned = np.zeros_like(truth)
+    for i in range(n_poses - 1):
+        z = relative_pose(truth[i], truth[i + 1])
+        z = z + rng.normal(0.0, odom_noise)
+        z[2] = wrap_angle(z[2])
+        graph.add_odometry(i, z)
+        # Integrate the noisy odometry for the initial guess.
+        theta = dead_reckoned[i, 2]
+        c, s = np.cos(theta), np.sin(theta)
+        dead_reckoned[i + 1, 0] = dead_reckoned[i, 0] + c * z[0] - s * z[1]
+        dead_reckoned[i + 1, 1] = dead_reckoned[i, 1] + s * z[0] + c * z[1]
+        dead_reckoned[i + 1, 2] = wrap_angle(theta + z[2])
+
+    for i in range(0, n_poses, prior_every):
+        fix = truth[i] + rng.normal(0.0, prior_noise, 3)
+        graph.add_prior(i, fix)
+    return graph, dead_reckoned, truth
+
+
+class AxleSmoothingProblem(EntoProblem):
+    """Chain-graph smoothing of a dead-reckoned trajectory."""
+
+    name = "axle-smooth"
+    stage = "S"
+    category = "Traj. Smooth."
+    dataset_name = "smooth-synth"
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0, n_poses: int = 40):
+        super().__init__(scalar, seed)
+        self.n_poses = n_poses
+        self.result: Optional[SmoothingResult] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.graph, self.initial, self.truth = make_smoothing_problem(
+            n_poses=self.n_poses, seed=self.seed
+        )
+
+    def solve(self, counter: OpCounter):
+        self.result = smooth(counter, self.graph, self.initial)
+        return self.result
+
+    def validate(self, result: SmoothingResult) -> bool:
+        if not result.converged or result.final_cost > result.initial_cost:
+            return False
+        before = float(np.sqrt(np.mean(
+            (self.initial[:, :2] - self.truth[:, :2]) ** 2)))
+        after = float(np.sqrt(np.mean(
+            (result.poses[:, :2] - self.truth[:, :2]) ** 2)))
+        return after < 0.6 * before
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("levenberg_step", "small_matmul",
+                        "matrix_inverse_small", "lu_solver",
+                        "experiment_io", "harness_runtime"))
+
+    def footprint(self) -> Footprint:
+        # Poses + block-tridiagonal workspace scale linearly with N.
+        per_pose = (3 + 9 * 2 + 3) * 4
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes,
+                         data_bytes=self.n_poses * per_pose + 1024)
+
+    def flop_estimate(self) -> int:
+        # Idealized: ~3 GN iterations x (assemble + Thomas) ~ 400 flops/pose.
+        return 3 * 400 * self.n_poses
+
+
+register("axle-smooth")(AxleSmoothingProblem)

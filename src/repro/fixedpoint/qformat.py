@@ -1,0 +1,296 @@
+"""Q-format fixed-point arithmetic with failure tracking.
+
+Implements signed 32-bit Q(m, n) arithmetic the way a Cortex-M kernel
+without an FPU would: values are stored as raw integer words, multiplies go
+through a 64-bit intermediate and shift back, divides pre-shift the
+numerator.  Saturation is *not* silent — every overflow, every near-zero
+divisor, and every square root of a negative value is recorded on the
+enclosing :class:`FixedPointContext`, because the paper's Case Study 2 is
+precisely about counting these failure events across Q formats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+@dataclass
+class FixedPointContext:
+    """Failure-event accumulator shared by all values of one kernel run."""
+
+    overflow_events: int = 0
+    div_by_near_zero_events: int = 0
+    sqrt_negative_events: int = 0
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return (
+            self.overflow_events > 0
+            or self.div_by_near_zero_events > 0
+            or self.sqrt_negative_events > 0
+        )
+
+    def note(self, message: str) -> None:
+        if len(self.messages) < 16:  # keep the first few for diagnostics
+            self.messages.append(message)
+
+
+class QFormat:
+    """A Q(m, n) fixed-point format over a signed 32-bit container."""
+
+    __slots__ = ("int_bits", "frac_bits", "scale", "max_raw", "min_raw")
+
+    def __init__(self, int_bits: int, frac_bits: int):
+        if int_bits + frac_bits != 31:
+            raise ValueError("int_bits + frac_bits must equal 31 (32-bit signed)")
+        if frac_bits < 1:
+            raise ValueError("need at least one fractional bit")
+        self.int_bits = int_bits
+        self.frac_bits = frac_bits
+        self.scale = 1 << frac_bits
+        self.max_raw = (1 << 31) - 1
+        self.min_raw = -(1 << 31)
+
+    @property
+    def name(self) -> str:
+        return f"q{self.int_bits}.{self.frac_bits}"
+
+    @property
+    def resolution(self) -> float:
+        return 1.0 / self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.max_raw / self.scale
+
+    def __repr__(self) -> str:
+        return f"QFormat({self.int_bits}, {self.frac_bits})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, QFormat)
+            and other.int_bits == self.int_bits
+            and other.frac_bits == self.frac_bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.int_bits, self.frac_bits))
+
+
+class Fixed:
+    """One fixed-point value bound to a format and a failure context.
+
+    Arithmetic mirrors bare-metal integer code: multiply widens to 64 bits
+    then shifts back (losing low bits), divide pre-shifts the numerator.
+    Saturating on overflow keeps the computation going, as an embedded
+    implementation with saturating intrinsics would, while the event is
+    tallied on the context.
+    """
+
+    __slots__ = ("raw", "fmt", "ctx")
+
+    def __init__(self, raw: int, fmt: QFormat, ctx: FixedPointContext):
+        self.raw = raw
+        self.fmt = fmt
+        self.ctx = ctx
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_float(cls, value: float, fmt: QFormat, ctx: FixedPointContext) -> "Fixed":
+        raw = int(round(value * fmt.scale))
+        return cls(cls._saturate(raw, fmt, ctx, f"from_float({value})"), fmt, ctx)
+
+    def to_float(self) -> float:
+        return self.raw / self.fmt.scale
+
+    @staticmethod
+    def _saturate(raw: int, fmt: QFormat, ctx: FixedPointContext, what: str) -> int:
+        if raw > fmt.max_raw:
+            ctx.overflow_events += 1
+            ctx.note(f"overflow(+) in {what}")
+            return fmt.max_raw
+        if raw < fmt.min_raw:
+            ctx.overflow_events += 1
+            ctx.note(f"overflow(-) in {what}")
+            return fmt.min_raw
+        return raw
+
+    def _wrap(self, raw: int, what: str) -> "Fixed":
+        return Fixed(self._saturate(raw, self.fmt, self.ctx, what), self.fmt, self.ctx)
+
+    def _coerce(self, other) -> "Fixed":
+        if isinstance(other, Fixed):
+            if other.fmt != self.fmt:
+                raise ValueError("mixed Q formats in one expression")
+            return other
+        return Fixed.from_float(float(other), self.fmt, self.ctx)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other) -> "Fixed":
+        o = self._coerce(other)
+        return self._wrap(self.raw + o.raw, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Fixed":
+        o = self._coerce(other)
+        return self._wrap(self.raw - o.raw, "sub")
+
+    def __rsub__(self, other) -> "Fixed":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Fixed":
+        o = self._coerce(other)
+        wide = self.raw * o.raw  # 64-bit intermediate on hardware
+        return self._wrap(wide >> self.fmt.frac_bits, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Fixed":
+        o = self._coerce(other)
+        if o.raw == 0 or abs(o.raw) < 2:
+            # Near-zero divisor: embedded kernels early-exit here.
+            self.ctx.div_by_near_zero_events += 1
+            self.ctx.note("division by near-zero")
+            return self._wrap(self.fmt.max_raw if self.raw >= 0 else self.fmt.min_raw, "div")
+        wide = (self.raw << self.fmt.frac_bits)
+        # Round-to-nearest division preserving sign semantics of C.
+        quot = int(wide / o.raw)
+        return self._wrap(quot, "div")
+
+    def __rtruediv__(self, other) -> "Fixed":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Fixed":
+        return self._wrap(-self.raw, "neg")
+
+    def __abs__(self) -> "Fixed":
+        return self._wrap(abs(self.raw), "abs")
+
+    def sqrt(self) -> "Fixed":
+        if self.raw < 0:
+            self.ctx.sqrt_negative_events += 1
+            self.ctx.note("sqrt of negative")
+            return Fixed(0, self.fmt, self.ctx)
+        # Integer Newton iteration on the raw value, as embedded isqrt does.
+        value = self.raw << self.fmt.frac_bits
+        if value == 0:
+            return Fixed(0, self.fmt, self.ctx)
+        x = 1 << ((value.bit_length() + 1) // 2)
+        for _ in range(32):
+            nx = (x + value // x) >> 1
+            if nx >= x:
+                break
+            x = nx
+        return self._wrap(x, "sqrt")
+
+    def recip_sqrt(self) -> "Fixed":
+        """1/sqrt(x), via sqrt then divide (no fast-inverse trick)."""
+        s = self.sqrt()
+        return Fixed.from_float(1.0, self.fmt, self.ctx) / s
+
+    # -- comparisons --------------------------------------------------------
+
+    def __lt__(self, other) -> bool:
+        return self.raw < self._coerce(other).raw
+
+    def __le__(self, other) -> bool:
+        return self.raw <= self._coerce(other).raw
+
+    def __gt__(self, other) -> bool:
+        return self.raw > self._coerce(other).raw
+
+    def __ge__(self, other) -> bool:
+        return self.raw >= self._coerce(other).raw
+
+    def __eq__(self, other) -> bool:
+        try:
+            return self.raw == self._coerce(other).raw
+        except (TypeError, ValueError):
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.fmt))
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def __repr__(self) -> str:
+        return f"Fixed({self.to_float():.6g}, {self.fmt.name})"
+
+
+class FixedVector:
+    """A small fixed-point vector (list-backed; these kernels are tiny)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Fixed]):
+        self.values = list(values)
+
+    @classmethod
+    def from_floats(cls, xs, fmt: QFormat, ctx: FixedPointContext) -> "FixedVector":
+        return cls(Fixed.from_float(float(x), fmt, ctx) for x in xs)
+
+    def to_floats(self) -> List[float]:
+        return [v.to_float() for v in self.values]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> Fixed:
+        return self.values[i]
+
+    def __setitem__(self, i: int, v: Fixed) -> None:
+        self.values[i] = v
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __add__(self, other: "FixedVector") -> "FixedVector":
+        return FixedVector(a + b for a, b in zip(self.values, other.values))
+
+    def __sub__(self, other: "FixedVector") -> "FixedVector":
+        return FixedVector(a - b for a, b in zip(self.values, other.values))
+
+    def scale(self, s: Fixed) -> "FixedVector":
+        return FixedVector(v * s for v in self.values)
+
+    def dot(self, other: "FixedVector") -> Fixed:
+        acc = self.values[0] * other.values[0]
+        for a, b in zip(self.values[1:], other.values[1:]):
+            acc = acc + a * b
+        return acc
+
+    def norm(self) -> Fixed:
+        return self.dot(self).sqrt()
+
+    def cross(self, other: "FixedVector") -> "FixedVector":
+        a, b = self.values, other.values
+        return FixedVector(
+            [
+                a[1] * b[2] - a[2] * b[1],
+                a[2] * b[0] - a[0] * b[2],
+                a[0] * b[1] - a[1] * b[0],
+            ]
+        )
+
+
+def all_q_formats(min_int: int = 0, max_int: int = 30) -> List[QFormat]:
+    """Every Q(m, 31-m) format in the given integer-bit range.
+
+    Case Study 2 sweeps "the full range of possible values" of the fixed
+    point format; this enumerates that sweep.
+    """
+    return [QFormat(m, 31 - m) for m in range(min_int, max_int + 1)]
+
+
+def required_int_bits(max_abs_value: float) -> int:
+    """Minimum integer bits needed to represent ``max_abs_value``."""
+    if max_abs_value <= 0:
+        return 0
+    return max(0, int(math.floor(math.log2(max_abs_value))) + 1)

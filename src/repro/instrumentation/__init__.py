@@ -1,0 +1,28 @@
+"""Simulated measurement chain: GPIO, logic analyzer, current probe, sync."""
+
+from repro.instrumentation.gpio import GpioBus, GpioEvent
+from repro.instrumentation.logic_analyzer import DigitalEdge, LogicAnalyzer, RoiInterval
+from repro.instrumentation.power_monitor import CurrentTrace, PowerMonitor, PowerSegment
+from repro.instrumentation.sync import (
+    Measurement,
+    SyncedCapture,
+    extract_measurements,
+    summarize,
+    synchronize,
+)
+
+__all__ = [
+    "GpioBus",
+    "GpioEvent",
+    "DigitalEdge",
+    "LogicAnalyzer",
+    "RoiInterval",
+    "CurrentTrace",
+    "PowerMonitor",
+    "PowerSegment",
+    "Measurement",
+    "SyncedCapture",
+    "extract_measurements",
+    "summarize",
+    "synchronize",
+]

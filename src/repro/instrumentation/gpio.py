@@ -1,0 +1,64 @@
+"""Simulated GPIO lines.
+
+The MCU abstraction layer in the C++ framework toggles two pins: a
+``trigger`` pin that starts the current probe's acquisition and an ``roi``
+(region-of-interest) pin that brackets each kernel execution for the logic
+analyzer.  Here a :class:`GpioBus` carries those transitions, timestamped
+in simulated seconds, to any subscribed instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class GpioEvent:
+    """One pin transition."""
+
+    time_s: float
+    pin: str
+    state: bool
+
+
+class GpioBus:
+    """Named digital lines with transition history and subscribers."""
+
+    def __init__(self):
+        self._states: Dict[str, bool] = {}
+        self._events: List[GpioEvent] = []
+        self._listeners: List[Callable[[GpioEvent], None]] = []
+        self._last_time = -float("inf")
+
+    def subscribe(self, listener: Callable[[GpioEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def write(self, pin: str, state: bool, time_s: float) -> None:
+        """Drive a pin.  Writes must be time-ordered; no-op writes are
+        suppressed (real GPIO only produces edges on change)."""
+        if time_s < self._last_time:
+            raise ValueError(
+                f"GPIO write at t={time_s} precedes previous write at t={self._last_time}"
+            )
+        self._last_time = time_s
+        if self._states.get(pin) == state:
+            return
+        self._states[pin] = state
+        event = GpioEvent(time_s, pin, state)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def read(self, pin: str) -> bool:
+        return self._states.get(pin, False)
+
+    @property
+    def events(self) -> List[GpioEvent]:
+        return list(self._events)
+
+    def events_for(self, pin: str) -> List[GpioEvent]:
+        return [e for e in self._events if e.pin == pin]
+
+    def pins(self) -> List[str]:
+        return sorted(self._states)

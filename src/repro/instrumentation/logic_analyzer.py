@@ -1,0 +1,93 @@
+"""Simulated logic analyzer (the Saleae Logic 2 stand-in).
+
+Subscribes to a :class:`~repro.instrumentation.gpio.GpioBus` and records
+pin transitions with its own sample clock.  Timestamps are quantized to
+the analyzer's sample period and referenced to the analyzer's *local*
+clock, which starts when the capture starts — not when the harness does —
+so the synchronization step of the analysis pipeline has real work to do,
+as it does on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.instrumentation.gpio import GpioBus, GpioEvent
+
+
+@dataclass(frozen=True)
+class DigitalEdge:
+    """One recorded transition, in analyzer-local time."""
+
+    time_s: float
+    pin: str
+    rising: bool
+
+
+@dataclass(frozen=True)
+class RoiInterval:
+    """One high pulse on a pin, in analyzer-local time."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class LogicAnalyzer:
+    """Edge-capture instrument with a quantized local clock."""
+
+    def __init__(self, bus: GpioBus, sample_rate_hz: float = 500e6,
+                 start_offset_s: float = 0.0):
+        self.sample_period_s = 1.0 / sample_rate_hz
+        self.start_offset_s = start_offset_s  # local t=0 in harness time
+        self._capturing = False
+        self._edges: List[DigitalEdge] = []
+        bus.subscribe(self._on_event)
+
+    def start(self) -> None:
+        self._capturing = True
+
+    def stop(self) -> None:
+        self._capturing = False
+
+    def _on_event(self, event: GpioEvent) -> None:
+        if not self._capturing:
+            return
+        local = event.time_s - self.start_offset_s
+        if local < 0:
+            return
+        quantized = round(local / self.sample_period_s) * self.sample_period_s
+        self._edges.append(DigitalEdge(quantized, event.pin, event.state))
+
+    @property
+    def edges(self) -> List[DigitalEdge]:
+        return list(self._edges)
+
+    def edges_for(self, pin: str) -> List[DigitalEdge]:
+        return [e for e in self._edges if e.pin == pin]
+
+    def intervals(self, pin: str) -> List[RoiInterval]:
+        """High pulses on ``pin`` (paired rising/falling edges)."""
+        out: List[RoiInterval] = []
+        start: Optional[float] = None
+        for edge in self.edges_for(pin):
+            if edge.rising and start is None:
+                start = edge.time_s
+            elif not edge.rising and start is not None:
+                out.append(RoiInterval(start, edge.time_s))
+                start = None
+        return out
+
+    def first_edge(self, pin: str, rising: bool = True) -> Optional[DigitalEdge]:
+        for edge in self.edges_for(pin):
+            if edge.rising == rising:
+                return edge
+        return None
+
+    def export(self) -> List[Tuple[float, str, int]]:
+        """Raw export rows: (time, channel, value) — the .csv Saleae emits."""
+        return [(e.time_s, e.pin, int(e.rising)) for e in self._edges]

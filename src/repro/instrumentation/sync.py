@@ -1,0 +1,105 @@
+"""Trace synchronization and measurement extraction.
+
+The Python analysis step of the paper's artifact: align the logic
+analyzer's digital capture with the current probe's trace (both have their
+own clocks), then for every region-of-interest window integrate current to
+energy, take the in-window maximum as peak power, and report the window
+width as latency.
+
+Alignment uses the shared reference both instruments observe: the trigger
+edge appears in the digital capture, and the current trace starts at the
+trigger by construction (the probe is armed on that pin).  Residual clock
+skew between instruments is corrected with a linear time map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.instrumentation.logic_analyzer import LogicAnalyzer, RoiInterval
+from repro.instrumentation.power_monitor import CurrentTrace
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One recovered per-repetition measurement."""
+
+    latency_s: float
+    energy_j: float
+    peak_power_w: float
+    avg_power_w: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_s * 1e6
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy_j * 1e6
+
+
+@dataclass(frozen=True)
+class SyncedCapture:
+    """Digital ROI windows and the current trace on a common time base."""
+
+    rois: List[RoiInterval]
+    trace: CurrentTrace
+
+
+def synchronize(
+    analyzer: LogicAnalyzer,
+    trace: CurrentTrace,
+    monitor_skew_ppm: Optional[float] = None,
+) -> SyncedCapture:
+    """Map both captures onto the logic analyzer's time base.
+
+    The current trace's t=0 is the trigger edge; find that edge in the
+    digital capture and shift/scale the current timestamps onto analyzer
+    time.  If the monitor's clock skew is known (from calibration), it is
+    corrected; otherwise the linear map assumes nominal rate, which is what
+    the paper's scripts do for short captures.
+    """
+    trigger = analyzer.first_edge("trigger", rising=True)
+    if trigger is None:
+        raise ValueError("no trigger edge in digital capture; cannot synchronize")
+    skew = (monitor_skew_ppm or 0.0) * 1e-6
+    times = (trace.times_s - (trace.times_s[0] if len(trace) else 0.0)) / (1.0 + skew)
+    aligned = CurrentTrace(times + trigger.time_s, trace.current_a, trace.supply_v)
+    return SyncedCapture(rois=analyzer.intervals("roi"), trace=aligned)
+
+
+def _window_measurement(trace: CurrentTrace, roi: RoiInterval) -> Measurement:
+    mask = (trace.times_s >= roi.start_s) & (trace.times_s < roi.end_s)
+    power = trace.power_w[mask]
+    latency = roi.duration_s
+    if power.size == 0:
+        # ROI shorter than one sample: take the nearest sample's power.
+        idx = int(np.argmin(np.abs(trace.times_s - roi.start_s)))
+        p = float(trace.power_w[idx]) if len(trace) else 0.0
+        return Measurement(latency, p * latency, p, p)
+    avg = float(power.mean())
+    return Measurement(
+        latency_s=latency,
+        energy_j=avg * latency,
+        peak_power_w=float(power.max()),
+        avg_power_w=avg,
+    )
+
+
+def extract_measurements(capture: SyncedCapture) -> List[Measurement]:
+    """Per-ROI latency/energy/peak-power, like the artifact's analysis step."""
+    return [_window_measurement(capture.trace, roi) for roi in capture.rois]
+
+
+def summarize(measurements: List[Measurement]) -> Measurement:
+    """Aggregate repetitions: mean latency/energy, max peak power."""
+    if not measurements:
+        raise ValueError("no measurements to summarize")
+    lat = float(np.mean([m.latency_s for m in measurements]))
+    en = float(np.mean([m.energy_j for m in measurements]))
+    pk = float(np.max([m.peak_power_w for m in measurements]))
+    av = float(np.mean([m.avg_power_w for m in measurements]))
+    return Measurement(lat, en, pk, av)

@@ -1,0 +1,43 @@
+"""Cortex-M architecture simulation substrate.
+
+Replaces the paper's physical STM32 boards: an operation-trace pipeline
+model, an analytic cache/memory model, a power/energy model, a static code
+model, and a counted linear-algebra layer that stands in for Eigen.
+"""
+
+from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, M0PLUS, M33, M4, M7, ArchSpec, get_arch
+from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig, CacheModel
+from repro.mcu.energy import EnergyModel, PowerReport
+from repro.mcu.memory import Footprint, MemoryFitError, check_fit, require_fit
+from repro.mcu.ops import OpCounter, OpTrace
+from repro.mcu.pipeline import CycleBreakdown, PipelineModel
+from repro.mcu.static import CODE_BLOCKS, StaticMix, compose, static_profile
+
+__all__ = [
+    "ARCHS",
+    "CHARACTERIZATION_ARCHS",
+    "M0PLUS",
+    "M33",
+    "M4",
+    "M7",
+    "ArchSpec",
+    "get_arch",
+    "CACHE_OFF",
+    "CACHE_ON",
+    "CacheConfig",
+    "CacheModel",
+    "EnergyModel",
+    "PowerReport",
+    "Footprint",
+    "MemoryFitError",
+    "check_fit",
+    "require_fit",
+    "OpCounter",
+    "OpTrace",
+    "CycleBreakdown",
+    "PipelineModel",
+    "CODE_BLOCKS",
+    "StaticMix",
+    "compose",
+    "static_profile",
+]

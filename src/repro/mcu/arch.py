@@ -1,0 +1,217 @@
+"""Cortex-M architecture descriptors.
+
+Four cores are modeled, matching the boards the paper measures on:
+
+* ``m0plus`` — a generic STM32 Cortex-M0+ part (Case Study 2 only): 2-stage
+  pipeline, no FPU, no caches, low clock, very low power.
+* ``m4`` — NUCLEO-STM32G474RE: 3-stage ARMv7E-M, SP FPU, 170 MHz, 128 KB
+  SRAM.  Its "cache" is ST's small ART flash accelerator, which barely
+  changes timing — the paper observes near-identical cache on/off numbers.
+* ``m33`` — NUCLEO-STM32U575ZIQ: 3-stage ARMv8-M Mainline, SP FPU, 160 MHz,
+  8 KB I/D caches, modern low-power process node → by far the most energy
+  efficient core in the study.
+* ``m7`` — NUCLEO-STM32H7A3ZIQ: 6-stage superscalar ARMv7E-M with branch
+  prediction, DP FPU, 280 MHz, 16 KB I/D caches.  Heavily cache dependent:
+  the vendor linker script places the stack in AXI SRAM, so uncached runs
+  pay large wait-state penalties.
+
+All quantitative parameters are calibrated so the *relationships* the paper
+reports (who wins, by what factor, where caches matter) are reproduced; they
+are not datasheet transcriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpuSpec:
+    """Floating-point capability of a core."""
+
+    single: bool  # hardware single-precision FPU present
+    double: bool  # hardware double-precision FPU present
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Instruction/data cache geometry, in bytes (0 = absent)."""
+
+    icache_bytes: int
+    dcache_bytes: int
+    line_bytes: int = 32
+
+    @property
+    def has_icache(self) -> bool:
+        return self.icache_bytes > 0
+
+    @property
+    def has_dcache(self) -> bool:
+        return self.dcache_bytes > 0
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """On-chip memory budget, in bytes."""
+
+    flash_bytes: int
+    sram_bytes: int
+    # Extra cycles to reach flash / SRAM when the relevant cache misses (or
+    # is disabled).  The M7's AXI SRAM stack placement makes its uncached
+    # data penalty unusually large.
+    flash_wait_cycles: float
+    sram_wait_cycles: float
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Active-power model parameters (milliwatts).
+
+    ``active_mw`` is the nominal core+memory power running compute-bound
+    code with caches in their default state.  ``cache_bonus_mw`` is added
+    when caches are enabled and busy (the paper sees up to +86 mW on the M7
+    during SIFT).  ``activity_span_mw`` scales with the float/memory
+    intensity of the workload and provides the spread between quiet integer
+    kernels and dense float kernels.
+    """
+
+    active_mw: float
+    cache_bonus_mw: float
+    activity_span_mw: float
+    idle_mw: float
+    supply_v: float = 3.3
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """A complete Cortex-M core + board model."""
+
+    name: str
+    core: str
+    board: str
+    isa: str
+    pipeline_stages: int
+    clock_hz: float
+    superscalar_ipc: float  # >1 means dual-issue benefit on int/mem code
+    branch_predictor: bool
+    fpu: FpuSpec
+    cache: CacheSpec
+    memory: MemorySpec
+    power: PowerSpec
+    process_node_nm: int
+    has_hw_divide: bool
+    has_dsp_simd: bool  # ARMv7E-M / ARMv8-M DSP extension (USADA8 etc.)
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.clock_hz / 1e6
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+M0PLUS = ArchSpec(
+    name="m0plus",
+    core="Cortex-M0+",
+    board="generic STM32 M0+",
+    isa="ARMv6-M",
+    pipeline_stages=2,
+    clock_hz=32e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=False, double=False),
+    cache=CacheSpec(icache_bytes=0, dcache_bytes=0),
+    memory=MemorySpec(
+        flash_bytes=128 * 1024,
+        sram_bytes=36 * 1024,
+        flash_wait_cycles=1.0,
+        sram_wait_cycles=0.0,
+    ),
+    power=PowerSpec(active_mw=13.0, cache_bonus_mw=0.0, activity_span_mw=3.0, idle_mw=1.0),
+    process_node_nm=90,
+    has_hw_divide=False,
+    has_dsp_simd=False,
+)
+
+M4 = ArchSpec(
+    name="m4",
+    core="Cortex-M4",
+    board="NUCLEO-STM32G474RE",
+    isa="ARMv7E-M",
+    pipeline_stages=3,
+    clock_hz=170e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=True, double=False),
+    cache=CacheSpec(icache_bytes=1024, dcache_bytes=0),  # ART flash accelerator
+    memory=MemorySpec(
+        flash_bytes=512 * 1024,
+        sram_bytes=128 * 1024,
+        flash_wait_cycles=4.0,
+        sram_wait_cycles=0.0,
+    ),
+    power=PowerSpec(active_mw=104.0, cache_bonus_mw=3.0, activity_span_mw=55.0, idle_mw=12.0),
+    process_node_nm=90,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+M33 = ArchSpec(
+    name="m33",
+    core="Cortex-M33",
+    board="NUCLEO-STM32U575ZIQ",
+    isa="ARMv8-M Mainline",
+    pipeline_stages=3,
+    clock_hz=160e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=True, double=False),
+    cache=CacheSpec(icache_bytes=8 * 1024, dcache_bytes=8 * 1024),
+    memory=MemorySpec(
+        flash_bytes=2 * 1024 * 1024,
+        sram_bytes=786 * 1024,
+        flash_wait_cycles=4.0,
+        sram_wait_cycles=1.0,
+    ),
+    power=PowerSpec(active_mw=29.0, cache_bonus_mw=2.0, activity_span_mw=12.0, idle_mw=3.0),
+    process_node_nm=40,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+M7 = ArchSpec(
+    name="m7",
+    core="Cortex-M7",
+    board="NUCLEO-STM32H7A3ZIQ",
+    isa="ARMv7E-M",
+    pipeline_stages=6,
+    clock_hz=280e6,
+    superscalar_ipc=1.45,
+    branch_predictor=True,
+    fpu=FpuSpec(single=True, double=True),
+    cache=CacheSpec(icache_bytes=16 * 1024, dcache_bytes=16 * 1024),
+    memory=MemorySpec(
+        flash_bytes=2 * 1024 * 1024,
+        sram_bytes=1408 * 1024,
+        flash_wait_cycles=6.0,
+        sram_wait_cycles=3.0,  # AXI SRAM stack placement
+    ),
+    power=PowerSpec(active_mw=118.0, cache_bonus_mw=38.0, activity_span_mw=60.0, idle_mw=18.0),
+    process_node_nm=40,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+ARCHS = {a.name: a for a in (M0PLUS, M4, M33, M7)}
+# The three cores characterized in the paper's Section V tables.
+CHARACTERIZATION_ARCHS = (M4, M33, M7)
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up an architecture by short name (``m0plus``/``m4``/``m33``/``m7``)."""
+    try:
+        return ARCHS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: {sorted(ARCHS)}"
+        ) from None

@@ -1,0 +1,108 @@
+"""Analytic instruction/data cache and wait-state model.
+
+Rather than a line-by-line cache simulator, this is a working-set model: it
+estimates miss rates from the ratio of a kernel's code/data footprint to
+the cache size, then charges flash/SRAM wait states for the missing
+fraction of accesses.  This deterministic model reproduces the paper's
+cache-sensitivity ordering:
+
+* M4 — its only "cache" is a small flash accelerator, so enabling or
+  disabling it barely moves latency (Table IV shows near-identical C/NC
+  columns).
+* M33 — real 8 KB I/D caches over a slow flash: disabling them costs
+  roughly 1.4–1.9x latency.
+* M7 — 280 MHz core over high-latency AXI SRAM (where the vendor linker
+  script places the stack): uncached runs are 2–3x slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.arch import ArchSpec
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Run-time cache enable state (the harness's cache on/off knob)."""
+
+    enabled: bool
+
+    @property
+    def label(self) -> str:
+        return "C" if self.enabled else "NC"
+
+
+CACHE_ON = CacheConfig(enabled=True)
+CACHE_OFF = CacheConfig(enabled=False)
+
+
+def _footprint_hit_rate(footprint_bytes: int, cache_bytes: int, floor: float) -> float:
+    """Steady-state hit rate for a working set against a cache.
+
+    Fits-in-cache working sets hit ~99% (cold misses only).  Larger sets
+    degrade with the square root of the overflow ratio — loops re-touch
+    data, so even a 4x-oversized working set retains substantial locality.
+    """
+    if cache_bytes <= 0:
+        return 0.0
+    if footprint_bytes <= 0:
+        return 0.99
+    ratio = cache_bytes / footprint_bytes
+    if ratio >= 1.0:
+        return 0.99
+    return max(floor, 0.99 * ratio ** 0.5)
+
+
+class CacheModel:
+    """Stall-cycle estimator for one core and cache enable state."""
+
+    def __init__(self, arch: ArchSpec, config: CacheConfig):
+        self.arch = arch
+        self.config = config
+
+    # Fraction of dynamic instructions that require a new fetch word: Thumb
+    # packs ~2 instructions per 32-bit fetch, and prefetch buffers hide a
+    # further share even without caches.
+    _FETCH_FRACTION = 0.35
+
+    def ifetch_hit_rate(self, code_bytes: int) -> float:
+        cache = self.arch.cache
+        if not cache.has_icache:
+            return 0.0
+        if not self.config.enabled:
+            # The M4's ART accelerator is modeled as a tiny always-on
+            # prefetcher: "disabling" it still leaves sequential prefetch.
+            return 0.55 if cache.icache_bytes <= 1024 else 0.0
+        if cache.icache_bytes <= 1024:
+            # Flash accelerator: high hit rate for loopy code.
+            return 0.92
+        return _footprint_hit_rate(code_bytes, cache.icache_bytes, floor=0.55)
+
+    def dmem_hit_rate(self, data_bytes: int) -> float:
+        cache = self.arch.cache
+        if not cache.has_dcache or not self.config.enabled:
+            return 0.0
+        return _footprint_hit_rate(data_bytes, cache.dcache_bytes, floor=0.45)
+
+    def ifetch_stalls(self, n_instr: int, code_bytes: int) -> float:
+        hit = self.ifetch_hit_rate(code_bytes)
+        misses = n_instr * self._FETCH_FRACTION * (1.0 - hit)
+        return misses * self.arch.memory.flash_wait_cycles
+
+    def dmem_stalls(self, n_mem_ops: int, data_bytes: int) -> float:
+        hit = self.dmem_hit_rate(data_bytes)
+        misses = n_mem_ops * (1.0 - hit)
+        return misses * self.arch.memory.sram_wait_cycles
+
+    def activity(self, code_bytes: int, data_bytes: int) -> float:
+        """Cache busyness in [0, 1], used by the power model.
+
+        Enabled, frequently-hitting caches burn power; the paper sees up to
+        +86 mW on the M7 during SIFT with caches on.
+        """
+        if not self.config.enabled:
+            return 0.0
+        i = self.ifetch_hit_rate(code_bytes)
+        d = self.dmem_hit_rate(data_bytes)
+        return 0.5 * (i + d)

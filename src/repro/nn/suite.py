@@ -1,0 +1,89 @@
+"""Benchmark problem for the TinyML proximity (monocular depth) kernel.
+
+The second of the paper's "planned near-term expansions", registered as
+``proximity-net``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import EntoProblem
+from repro.core.registry import register
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix, compose
+from repro.nn.depthnet import (
+    INPUT_SHAPE,
+    build_proximity_net,
+    clear_scene,
+    looming_scene,
+    proximity_score,
+)
+from repro.scalar import F32, ScalarType
+
+
+class ProximityNetProblem(EntoProblem):
+    """CNN proximity inference over a batch of near/far scenes."""
+
+    name = "proximity-net"
+    stage = "P"
+    category = "CNN Infer."
+    dataset_name = "prox-synth"
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0,
+                 n_frames: int = 4):
+        super().__init__(scalar, seed)
+        self.n_frames = n_frames
+        self.last_margin: Optional[float] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.net = build_proximity_net()
+        half = self.n_frames // 2
+        self.frames = [looming_scene(seed=self.seed + i) for i in range(half)]
+        self.frames += [clear_scene(seed=self.seed + i)
+                        for i in range(self.n_frames - half)]
+        self.labels = [True] * half + [False] * (self.n_frames - half)
+        self.work_units = self.n_frames
+
+    def solve(self, counter: OpCounter):
+        scores = [proximity_score(counter, f, self.net) for f in self.frames]
+        near = [s for s, label in zip(scores, self.labels) if label]
+        far = [s for s, label in zip(scores, self.labels) if not label]
+        self.last_margin = (min(near) - max(far)) if near and far else None
+        return scores
+
+    def validate(self, result) -> bool:
+        # Every looming frame must outscore every clear frame.
+        return self.last_margin is not None and self.last_margin > 0.0
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("dense_matmul", "gaussian_blur", "image_pyramid",
+                        "experiment_io", "harness_runtime"),
+                       repeat={"dense_matmul": 2})
+
+    def footprint(self) -> Footprint:
+        # Deployed TinyML models ship int8-quantized (CMSIS-NN); the float
+        # activation buffers would not fit the M4 at all.
+        return Footprint(
+            flash_bytes=self.static_mix_base().flash_bytes
+            + self.net_params_bytes(),
+            data_bytes=build_proximity_net().footprint_bytes(
+                INPUT_SHAPE, int8=True
+            ),
+        )
+
+    def net_params_bytes(self) -> int:
+        return build_proximity_net().n_params()  # int8 weights
+
+    def flop_estimate(self) -> int:
+        # The FLOP-counting papers would tally pure MACs: conv1 + conv2 +
+        # head over one 80x80 frame.
+        conv1 = 4 * 1 * 11 * 11 * 80 * 80
+        conv2 = 2 * 4 * 3 * 3 * 40 * 40
+        return (2 * (conv1 + conv2) + 4) * self.work_units
+
+
+register("proximity-net")(ProximityNetProblem)

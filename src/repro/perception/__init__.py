@@ -1,0 +1,24 @@
+"""Perception kernels: feature detection, descriptors, optical flow."""
+
+from repro.perception.fast import Corner, fast_detect
+from repro.perception.flow import (
+    FlowEstimate,
+    block_matching_flow,
+    image_interpolation_flow,
+    lucas_kanade_flow,
+)
+from repro.perception.orb_kernel import OrbKeypoint, orb_detect_and_describe
+from repro.perception.sift import SiftKeypoint, sift_detect_and_describe
+
+__all__ = [
+    "Corner",
+    "fast_detect",
+    "FlowEstimate",
+    "block_matching_flow",
+    "image_interpolation_flow",
+    "lucas_kanade_flow",
+    "OrbKeypoint",
+    "orb_detect_and_describe",
+    "SiftKeypoint",
+    "sift_detect_and_describe",
+]

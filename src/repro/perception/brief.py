@@ -1,0 +1,121 @@
+"""BRIEF binary descriptors [35] and their rotated (ORB) variant.
+
+256 intensity comparisons on a fixed random pattern inside a 31x31 patch,
+packed into a 32-byte descriptor.  The rotation-aware variant steers the
+pattern by the keypoint orientation (ORB's rBRIEF).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mcu.ops import OpCounter
+
+PATCH_RADIUS = 15
+N_PAIRS = 256
+
+
+def brief_pattern(seed: int = 42) -> np.ndarray:
+    """The (N_PAIRS, 4) sampling pattern (y1, x1, y2, x2), Gaussian-drawn.
+
+    Generated once from a fixed seed — the embedded implementation stores
+    this pattern as a constant table in flash.
+    """
+    rng = np.random.default_rng(seed)
+    pts = np.clip(
+        rng.normal(0.0, PATCH_RADIUS / 2.5, size=(N_PAIRS, 4)),
+        -PATCH_RADIUS,
+        PATCH_RADIUS,
+    )
+    return np.round(pts).astype(int)
+
+
+_DEFAULT_PATTERN = brief_pattern()
+
+
+def describe(
+    counter: OpCounter,
+    img: np.ndarray,
+    keypoints: List,
+    orientations: Optional[np.ndarray] = None,
+    pattern: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """BRIEF descriptors for keypoints; steered when orientations given.
+
+    Returns a (n_kept, 32) uint8 array.  Keypoints closer than the patch
+    radius to the border are skipped (their row is zero).
+    """
+    pattern = pattern if pattern is not None else _DEFAULT_PATTERN
+    h, w = img.shape
+    img_i = img.astype(np.int32)
+    out = np.zeros((len(keypoints), N_PAIRS // 8), dtype=np.uint8)
+
+    for ki, kp in enumerate(keypoints):
+        y, x = kp.y, kp.x
+        if (
+            y < PATCH_RADIUS + 1
+            or x < PATCH_RADIUS + 1
+            or y >= h - PATCH_RADIUS - 1
+            or x >= w - PATCH_RADIUS - 1
+        ):
+            counter.icmp(4)
+            counter.branch(taken=False)
+            continue
+        if orientations is not None:
+            # Steer the pattern: rotate every sample point.
+            c, s = np.cos(orientations[ki]), np.sin(orientations[ki])
+            counter.ffunc(2)
+            y1 = np.round(c * pattern[:, 0] + s * pattern[:, 1]).astype(int)
+            x1 = np.round(-s * pattern[:, 0] + c * pattern[:, 1]).astype(int)
+            y2 = np.round(c * pattern[:, 2] + s * pattern[:, 3]).astype(int)
+            x2 = np.round(-s * pattern[:, 2] + c * pattern[:, 3]).astype(int)
+            y1 = np.clip(y1, -PATCH_RADIUS, PATCH_RADIUS)
+            x1 = np.clip(x1, -PATCH_RADIUS, PATCH_RADIUS)
+            y2 = np.clip(y2, -PATCH_RADIUS, PATCH_RADIUS)
+            x2 = np.clip(x2, -PATCH_RADIUS, PATCH_RADIUS)
+            counter.flop_mix(add=4 * N_PAIRS, mul=8 * N_PAIRS)
+            counter.fcvt(4 * N_PAIRS)
+        else:
+            y1, x1, y2, x2 = pattern.T
+
+        bits = img_i[y + y1, x + x1] < img_i[y + y2, x + x2]
+        # Per pair: two loads, a compare, a shift-or into the descriptor.
+        counter.load(2 * N_PAIRS)
+        counter.icmp(N_PAIRS)
+        counter.ialu(2 * N_PAIRS)
+        counter.store(N_PAIRS // 8)
+        counter.loop_overhead(N_PAIRS)
+        out[ki] = np.packbits(bits.astype(np.uint8))
+    return out
+
+
+def hamming_distance(counter: OpCounter, d1: np.ndarray, d2: np.ndarray) -> int:
+    """Popcount Hamming distance between two 32-byte descriptors."""
+    x = np.bitwise_xor(d1, d2)
+    counter.ialu(len(d1) * 2)  # xor + popcount per word
+    counter.load(2 * len(d1))
+    return int(np.unpackbits(x).sum())
+
+
+def match_descriptors(
+    counter: OpCounter,
+    d1: np.ndarray,
+    d2: np.ndarray,
+    max_distance: int = 64,
+) -> List:
+    """Brute-force nearest-neighbour matching by Hamming distance."""
+    matches = []
+    for i in range(len(d1)):
+        best_j, best_d = -1, max_distance + 1
+        for j in range(len(d2)):
+            d = hamming_distance(counter, d1[i], d2[j])
+            counter.icmp()
+            if d < best_d:
+                best_j, best_d = j, d
+                counter.branch()
+        if best_j >= 0:
+            matches.append((i, best_j, best_d))
+        counter.loop_overhead(len(d2))
+    return matches

@@ -1,0 +1,142 @@
+"""FAST corner detection (the segment test) [57, 35].
+
+FAST-9/16: a pixel is a corner when 9 contiguous pixels on the 16-pixel
+Bresenham circle are all brighter or all darker than the center by a
+threshold.  The implementation is vectorized over the frame for speed but
+records the operations of the compiled scalar detector, including its
+*early-exit* structure: most pixels fail the 4-point quick test, and only
+survivors pay the full segment test.  That early exit is why sparse scenes
+(the "lights" dataset) run markedly faster than textured ones — the data
+dependence Case Study 1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mcu.ops import OpCounter
+
+# The 16 Bresenham circle offsets (dy, dx), radius 3, clockwise from north.
+CIRCLE_OFFSETS = [
+    (-3, 0), (-3, 1), (-2, 2), (-1, 3), (0, 3), (1, 3), (2, 2), (3, 1),
+    (3, 0), (3, -1), (2, -2), (1, -3), (0, -3), (-1, -3), (-2, -2), (-3, -3 + 2),
+]
+# Fix the last offset: the canonical circle is (-3,-1) at index 15.
+CIRCLE_OFFSETS[15] = (-3, -1)
+
+BORDER = 3
+
+
+@dataclass(frozen=True)
+class Corner:
+    y: int
+    x: int
+    score: float
+
+
+def _circle_stack(img: np.ndarray) -> np.ndarray:
+    """(16, H-6, W-6) array of circle-pixel values per interior pixel."""
+    h, w = img.shape
+    core_h, core_w = h - 2 * BORDER, w - 2 * BORDER
+    stack = np.empty((16, core_h, core_w), dtype=np.int32)
+    for i, (dy, dx) in enumerate(CIRCLE_OFFSETS):
+        stack[i] = img[
+            BORDER + dy : BORDER + dy + core_h, BORDER + dx : BORDER + dx + core_w
+        ]
+    return stack
+
+
+def _contiguous_mask(flags: np.ndarray, run: int) -> np.ndarray:
+    """True where >= ``run`` contiguous circle flags (wrapping) are set."""
+    wrapped = np.concatenate([flags, flags[: run - 1]], axis=0)
+    out = np.zeros(flags.shape[1:], dtype=bool)
+    for start in range(16):
+        window = wrapped[start : start + run]
+        out |= window.all(axis=0)
+    return out
+
+
+def fast_detect(
+    counter: OpCounter,
+    img: np.ndarray,
+    threshold: int = 20,
+    nonmax_suppression: bool = True,
+) -> List[Corner]:
+    """FAST-9 corners with the score = sum of absolute differences.
+
+    Returns corners sorted by score (strongest first).
+    """
+    img_i = img.astype(np.int32)
+    h, w = img.shape
+    core = img_i[BORDER : h - BORDER, BORDER : w - BORDER]
+    stack = _circle_stack(img_i)
+
+    bright = stack > core[None] + threshold
+    dark = stack < core[None] - threshold
+
+    # Quick test on the 4 compass points (indices 0, 4, 8, 12): a run of 9
+    # contiguous circle pixels always covers at least 2 of them.
+    quick_bright = bright[[0, 4, 8, 12]].sum(axis=0) >= 2
+    quick_dark = dark[[0, 4, 8, 12]].sum(axis=0) >= 2
+    candidates = quick_bright | quick_dark
+
+    n_px = core.size
+    n_candidates = int(candidates.sum())
+    # Every pixel pays the quick test: 4 circle loads + center load +
+    # threshold adds + compares + branch.
+    counter.trace.load += 5 * n_px
+    counter.trace.ialu += 6 * n_px
+    counter.trace.icmp += 8 * n_px
+    counter.trace.br_not += n_px - n_candidates
+    counter.trace.br_taken += n_candidates
+    counter.loop_overhead(n_px)
+
+    corner_mask = np.zeros_like(candidates)
+    if n_candidates:
+        full = _contiguous_mask(bright, 9) | _contiguous_mask(dark, 9)
+        corner_mask = candidates & full
+        # Candidates pay the full segment test: 12 more loads, compares,
+        # and run-length bookkeeping.
+        counter.trace.load += 12 * n_candidates
+        counter.trace.ialu += 20 * n_candidates
+        counter.trace.icmp += 24 * n_candidates
+        counter.trace.br_taken += 10 * n_candidates
+
+    n_corners = int(corner_mask.sum())
+    # Score for detected corners: SAD of circle vs center.
+    scores = np.zeros(corner_mask.shape, dtype=np.float64)
+    if n_corners:
+        diffs = np.abs(stack - core[None]).sum(axis=0)
+        scores = np.where(corner_mask, diffs, 0.0)
+        counter.trace.load += 16 * n_corners
+        counter.trace.ialu += 32 * n_corners
+
+    if nonmax_suppression and n_corners:
+        # 3x3 non-max suppression over detected corners.
+        padded = np.pad(scores, 1)
+        neighborhood = np.stack(
+            [
+                padded[1 + dy : 1 + dy + scores.shape[0],
+                       1 + dx : 1 + dx + scores.shape[1]]
+                for dy in (-1, 0, 1)
+                for dx in (-1, 0, 1)
+            ]
+        )
+        is_max = scores >= neighborhood.max(axis=0)
+        corner_mask = corner_mask & is_max
+        counter.trace.load += 9 * n_corners
+        counter.trace.icmp += 9 * n_corners
+        counter.trace.br_taken += n_corners
+
+    ys, xs = np.nonzero(corner_mask)
+    corners = [
+        Corner(int(y) + BORDER, int(x) + BORDER, float(scores[y, x]))
+        for y, x in zip(ys, xs)
+    ]
+    corners.sort(key=lambda c: -c.score)
+    counter.trace.ialu += len(corners) * 8  # sort bookkeeping
+    counter.trace.icmp += int(len(corners) * np.log2(len(corners) + 1)) * 2
+    return corners

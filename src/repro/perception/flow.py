@@ -1,0 +1,275 @@
+"""Optical flow kernels: lkof, iiof, bbof, bbof-vec.
+
+* ``lkof``     — pyramidal iterative Lucas-Kanade [4]: per-feature 11x11
+  windows, spatial gradient matrix, iterative warp refinement across
+  pyramid levels.  The most expensive flow kernel (pyramid + gradients).
+* ``iiof``     — Srinivasan's image-interpolation method [63]: a global
+  flow estimate from a closed-form least squares over reference shifts.
+* ``bbof``     — brute-force block matching by sum of absolute
+  differences over a search window.
+* ``bbof-vec`` — the same with USADA8-style packed SAD (4 pixels per
+  instruction), the ~4x DSP-extension win of Case Study 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mcu.ops import OpCounter
+from repro.perception.gaussian import (
+    bilinear_sample,
+    build_pyramid,
+    count_bilinear,
+    image_gradients,
+)
+
+
+@dataclass(frozen=True)
+class FlowEstimate:
+    """One flow vector (dy, dx) with a validity flag."""
+
+    dy: float
+    dx: float
+    valid: bool
+
+
+# ---------------------------------------------------------------------------
+# Lucas-Kanade
+# ---------------------------------------------------------------------------
+
+
+def lucas_kanade_feature(
+    counter: OpCounter,
+    grads: Tuple[np.ndarray, np.ndarray],
+    frame0: np.ndarray,
+    frame1: np.ndarray,
+    y: float,
+    x: float,
+    init: Tuple[float, float] = (0.0, 0.0),
+    window: int = 11,
+    max_iters: int = 10,
+    eps: float = 0.01,
+) -> FlowEstimate:
+    """Iterative LK refinement of one feature at one pyramid level."""
+    gx, gy = grads
+    half = window // 2
+    h, w = frame0.shape
+    if not (half < y < h - half - 1 and half < x < w - half - 1):
+        counter.icmp(4)
+        return FlowEstimate(0.0, 0.0, False)
+
+    ys, xs = np.mgrid[-half : half + 1, -half : half + 1]
+    wy = ys + y
+    wx = xs + x
+    n_px = window * window
+
+    ix = bilinear_sample(gx, wy, wx)
+    iy = bilinear_sample(gy, wy, wx)
+    i0 = bilinear_sample(frame0, wy, wx)
+    count_bilinear(counter, 3 * n_px)
+
+    # Spatial gradient matrix G (2x2) — computed once per level.
+    gxx = float((ix * ix).sum())
+    gyy = float((iy * iy).sum())
+    gxy = float((ix * iy).sum())
+    counter.trace.ffma += 3 * n_px
+    counter.trace.load += 2 * n_px
+    counter.loop_overhead(n_px)
+    det = gxx * gyy - gxy * gxy
+    counter.flop_mix(add=1, mul=3)
+    if abs(det) < 1e-9:
+        counter.fcmp()
+        return FlowEstimate(0.0, 0.0, False)
+    inv = np.array([[gyy, -gxy], [-gxy, gxx]]) / det
+    counter.flop_mix(div=4)
+
+    dy, dx = init
+    for _ in range(max_iters):
+        counter.loop_overhead(1)
+        i1 = bilinear_sample(frame1, wy + dy, wx + dx)
+        count_bilinear(counter, n_px)
+        it = i1 - i0
+        counter.vec_add(n_px)
+        b = np.array([float((it * ix).sum()), float((it * iy).sum())])
+        counter.trace.ffma += 2 * n_px
+        counter.trace.load += 2 * n_px
+        step = inv @ b
+        counter.flop_mix(add=2, mul=4)
+        dx -= float(step[0])
+        dy -= float(step[1])
+        counter.vec_add(2)
+        if float(np.hypot(step[0], step[1])) < eps:
+            counter.fcmp()
+            counter.branch()
+            break
+    return FlowEstimate(dy, dx, True)
+
+
+def lucas_kanade_flow(
+    counter: OpCounter,
+    frame0: np.ndarray,
+    frame1: np.ndarray,
+    features: Optional[np.ndarray] = None,
+    levels: int = 2,
+    window: int = 11,
+    max_iters: int = 10,
+) -> List[FlowEstimate]:
+    """Pyramidal LK over a feature grid (default: a 5x5 interior grid)."""
+    h, w = frame0.shape
+    if features is None:
+        margin = window
+        ys = np.linspace(margin, h - margin - 1, 5)
+        xs = np.linspace(margin, w - margin - 1, 5)
+        features = np.array([(y, x) for y in ys for x in xs])
+
+    pyr0 = build_pyramid(counter, frame0.astype(np.float64), levels)
+    pyr1 = build_pyramid(counter, frame1.astype(np.float64), levels)
+    grads = [image_gradients(counter, lvl) for lvl in pyr0]
+
+    results: List[FlowEstimate] = []
+    for fy, fx in features:
+        dy = dx = 0.0
+        ok = True
+        for level in range(levels - 1, -1, -1):
+            counter.loop_overhead(1)
+            scale = 2.0**level
+            est = lucas_kanade_feature(
+                counter,
+                grads[level],
+                pyr0[level],
+                pyr1[level],
+                fy / scale,
+                fx / scale,
+                init=(dy, dx),
+                window=window,
+                max_iters=max_iters,
+            )
+            if not est.valid:
+                ok = False
+                break
+            if level > 0:
+                dy, dx = est.dy * 2.0, est.dx * 2.0
+                counter.flop_mix(mul=2)
+            else:
+                dy, dx = est.dy, est.dx
+        results.append(FlowEstimate(dy, dx, ok))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Image interpolation (Srinivasan)
+# ---------------------------------------------------------------------------
+
+
+def image_interpolation_flow(
+    counter: OpCounter,
+    frame0: np.ndarray,
+    frame1: np.ndarray,
+    ref_shift: int = 2,
+) -> FlowEstimate:
+    """Global flow by interpolating between +/- shifted references.
+
+    Model: f1 ~ f0 + (dx / 2s) (f0(x-s) - f0(x+s)) + (dy / 2s) (...);
+    least squares in the two unknowns gives a closed-form 2x2 solve.
+    """
+    f0 = frame0.astype(np.float64)
+    f1 = frame1.astype(np.float64)
+    s = ref_shift
+    core = np.s_[s:-s, s:-s]
+
+    fxm = f0[s:-s, : -2 * s]  # shifted +s in x
+    fxp = f0[s:-s, 2 * s :]
+    fym = f0[: -2 * s, s:-s]
+    fyp = f0[2 * s :, s:-s]
+    phi_x = (fxm - fxp) / (2.0 * s)
+    phi_y = (fym - fyp) / (2.0 * s)
+    dt = f1[core] - f0[core]
+    n_px = dt.size
+    counter.trace.fadd += 3 * n_px
+    counter.trace.fmul += 2 * n_px
+    counter.trace.load += 6 * n_px
+    counter.trace.store += 3 * n_px
+    counter.loop_overhead(n_px)
+
+    a11 = float((phi_x * phi_x).sum())
+    a22 = float((phi_y * phi_y).sum())
+    a12 = float((phi_x * phi_y).sum())
+    b1 = float((phi_x * dt).sum())
+    b2 = float((phi_y * dt).sum())
+    counter.trace.ffma += 5 * n_px
+    counter.trace.load += 4 * n_px
+
+    det = a11 * a22 - a12 * a12
+    counter.flop_mix(add=1, mul=3)
+    if abs(det) < 1e-12:
+        counter.fcmp()
+        return FlowEstimate(0.0, 0.0, False)
+    dx = (a22 * b1 - a12 * b2) / det
+    dy = (a11 * b2 - a12 * b1) / det
+    counter.flop_mix(add=2, mul=4, div=2)
+    return FlowEstimate(float(dy), float(dx), True)
+
+
+# ---------------------------------------------------------------------------
+# Block matching
+# ---------------------------------------------------------------------------
+
+
+def block_matching_flow(
+    counter: OpCounter,
+    frame0: np.ndarray,
+    frame1: np.ndarray,
+    block: int = 8,
+    search: int = 8,
+    vectorized: bool = False,
+) -> FlowEstimate:
+    """SAD block matching of the central block over a +/-search window.
+
+    ``vectorized=True`` models the USADA8 packed-SAD path: 4 absolute
+    differences accumulate per instruction, cutting the inner-loop cost by
+    ~4x (Case Study 1's bbof-vec row).
+    """
+    h, w = frame0.shape
+    cy, cx = h // 2, w // 2
+    half = block // 2
+    tpl = frame0[cy - half : cy + half, cx - half : cx + half].astype(np.int32)
+
+    best: Tuple[int, int] = (0, 0)
+    best_sad = np.inf
+    n_candidates = 0
+    for dy in range(-search, search + 1):
+        for dx in range(-search, search + 1):
+            y0, x0 = cy - half + dy, cx - half + dx
+            if y0 < 0 or x0 < 0 or y0 + block > h or x0 + block > w:
+                counter.icmp(4)
+                continue
+            cand = frame1[y0 : y0 + block, x0 : x0 + block].astype(np.int32)
+            sad = int(np.abs(cand - tpl).sum())
+            n_candidates += 1
+            counter.icmp()
+            if sad < best_sad:
+                best_sad = sad
+                best = (dy, dx)
+                counter.branch()
+            else:
+                counter.branch(taken=False)
+
+    n_px = block * block
+    if vectorized:
+        # USADA8: load 4 packed pixels per word on each side, one SAD
+        # accumulate instruction per word, plus the unaligned-access fixup
+        # shifts that real packed-pixel search windows require.
+        per_candidate_simd = n_px // 4
+        counter.simd(n_candidates * per_candidate_simd)
+        counter.load(n_candidates * 2 * (n_px // 4))
+        counter.ialu(n_candidates * 3 * (n_px // 4))
+    else:
+        # Scalar: two loads, subtract, abs (compare+negate), accumulate.
+        counter.load(n_candidates * 2 * n_px)
+        counter.ialu(n_candidates * 3 * n_px)
+        counter.icmp(n_candidates * n_px)
+    counter.loop_overhead(n_candidates * (1 if vectorized else block))
+    return FlowEstimate(float(best[0]), float(best[1]), np.isfinite(best_sad))

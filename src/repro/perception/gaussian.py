@@ -1,0 +1,113 @@
+"""Gaussian filtering and image pyramids (counted).
+
+Shared by the feature detectors (pre-blur), SIFT (scale space), and
+pyramidal Lucas-Kanade.  Filters are separable; operation counts charge
+the two 1-D passes a compiled fixed-point/float kernel would execute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mcu.ops import OpCounter
+
+
+def gaussian_kernel(sigma: float) -> np.ndarray:
+    """Odd-length 1-D Gaussian kernel covering +/- 3 sigma."""
+    radius = max(1, int(np.ceil(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1)
+    k = np.exp(-(xs**2) / (2.0 * sigma**2))
+    return k / k.sum()
+
+
+def _convolve_rows(img: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    pad = len(kernel) // 2
+    padded = np.pad(img, ((0, 0), (pad, pad)), mode="edge")
+    out = np.zeros_like(img, dtype=np.float64)
+    for i, kv in enumerate(kernel):
+        out += kv * padded[:, i : i + img.shape[1]]
+    return out
+
+
+def gaussian_blur(counter: OpCounter, img: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with per-tap operation accounting."""
+    kernel = gaussian_kernel(sigma)
+    taps = len(kernel)
+    h, w = img.shape
+    out = _convolve_rows(img.astype(np.float64), kernel)
+    out = _convolve_rows(out.T, kernel).T
+    n_px = h * w
+    # Two separable passes: taps multiply-accumulates + loads per pixel.
+    counter.trace.ffma += 2 * taps * n_px
+    counter.trace.load += 2 * (taps + 1) * n_px
+    counter.trace.store += 2 * n_px
+    counter.trace.ialu += 2 * taps * n_px // 2
+    counter.loop_overhead(2 * n_px)
+    return out
+
+
+def downsample(counter: OpCounter, img: np.ndarray) -> np.ndarray:
+    """2x decimation (every other pixel), as embedded pyramids do."""
+    out = img[::2, ::2].copy()
+    n = out.size
+    counter.trace.load += n
+    counter.trace.store += n
+    counter.trace.ialu += 2 * n
+    return out
+
+
+def build_pyramid(
+    counter: OpCounter,
+    img: np.ndarray,
+    levels: int,
+    sigma: float = 1.0,
+) -> List[np.ndarray]:
+    """Gaussian pyramid: blur + decimate per level."""
+    pyramid = [img.astype(np.float64)]
+    for _ in range(levels - 1):
+        blurred = gaussian_blur(counter, pyramid[-1], sigma)
+        pyramid.append(downsample(counter, blurred))
+    return pyramid
+
+
+def image_gradients(counter: OpCounter, img: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Central-difference gradients over the full frame."""
+    gx = np.zeros_like(img, dtype=np.float64)
+    gy = np.zeros_like(img, dtype=np.float64)
+    gx[:, 1:-1] = (img[:, 2:] - img[:, :-2]) * 0.5
+    gy[1:-1, :] = (img[2:, :] - img[:-2, :]) * 0.5
+    n = img.size
+    counter.trace.fadd += 2 * n
+    counter.trace.fmul += 2 * n
+    counter.trace.load += 4 * n
+    counter.trace.store += 2 * n
+    counter.loop_overhead(n)
+    return gx, gy
+
+
+def bilinear_sample(img: np.ndarray, ys: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Bilinear interpolation at float coordinates (clamped to bounds)."""
+    h, w = img.shape
+    ys = np.clip(ys, 0, h - 1.001)
+    xs = np.clip(xs, 0, w - 1.001)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    fy = ys - y0
+    fx = xs - x0
+    return (
+        img[y0, x0] * (1 - fy) * (1 - fx)
+        + img[y0, x0 + 1] * (1 - fy) * fx
+        + img[y0 + 1, x0] * fy * (1 - fx)
+        + img[y0 + 1, x0 + 1] * fy * fx
+    )
+
+
+def count_bilinear(counter: OpCounter, n_samples: int) -> None:
+    """Operation cost of ``n_samples`` bilinear fetches."""
+    counter.trace.fmul += 8 * n_samples
+    counter.trace.fadd += 5 * n_samples
+    counter.trace.fcvt += 2 * n_samples
+    counter.trace.load += 4 * n_samples
+    counter.trace.ialu += 6 * n_samples

@@ -1,0 +1,267 @@
+"""Benchmark problems for the perception kernels.
+
+Registers the Table III Perception rows: ``fastbrief``, ``orb``, ``sift``,
+``lkof``, ``iiof``, ``bbof`` — plus the ``bbof-vec`` DSP-extension variant
+used in Case Study 1.  Feature detection runs on 160x160 frames, optical
+flow on 80x80 frames (the paper's Section V sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.problem import EntoProblem
+from repro.core.registry import register
+from repro.datasets import images
+from repro.mcu.memory import Footprint, image_buffer_bytes
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import StaticMix, compose
+from repro.perception import brief
+from repro.perception.fast import fast_detect
+from repro.perception.flow import (
+    block_matching_flow,
+    image_interpolation_flow,
+    lucas_kanade_flow,
+)
+from repro.perception.gaussian import gaussian_blur
+from repro.perception.orb_kernel import orb_detect_and_describe
+from repro.perception.sift import (
+    scale_space_footprint_bytes,
+    sift_detect_and_describe,
+)
+from repro.scalar import F32, ScalarType
+
+
+class _FeatureProblem(EntoProblem):
+    """Shared scaffolding for the feature-detector kernels."""
+
+    stage = "P"
+    category = "Feat. Extr."
+    dataset_name = "midd-stereo"
+    image_shape = images.FEATURE_IMAGE_SHAPE
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0,
+                 dataset: str = "midd"):
+        super().__init__(scalar, seed)
+        self.dataset = dataset
+        self.image: Optional[np.ndarray] = None
+        self.last_n_features = 0
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.image = images.load(self.dataset, shape=self.image_shape, seed=self.seed)
+
+
+class FastBriefProblem(_FeatureProblem):
+    """Gaussian pre-blur + FAST-9 corners + BRIEF descriptors."""
+
+    name = "fastbrief"
+    MIN_FEATURES = 4
+
+    def solve(self, counter: OpCounter):
+        blurred = gaussian_blur(counter, self.image.astype(np.float64), sigma=1.0)
+        corners = fast_detect(counter, blurred.astype(np.uint8))
+        descriptors = brief.describe(counter, self.image, corners)
+        self.last_n_features = len(corners)
+        return corners, descriptors
+
+    def validate(self, result) -> bool:
+        corners, descriptors = result
+        if len(corners) < self.MIN_FEATURES:
+            return False
+        # Descriptors for interior corners must be non-trivial bit strings.
+        populated = descriptors[descriptors.any(axis=1)]
+        return len(populated) >= self.MIN_FEATURES
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("gaussian_blur", "fast_detector", "brief_descriptor",
+                        "harness_runtime"))
+
+    def footprint(self) -> Footprint:
+        h, w = self.image_shape
+        # Frame + blurred copy + corner/descriptor buffers.
+        data = image_buffer_bytes(h, w) + image_buffer_bytes(h, w, 2) + 16 * 1024
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes,
+                         data_bytes=data)
+
+
+class OrbProblem(_FeatureProblem):
+    """ORB: oriented FAST + Harris ranking + rotated BRIEF."""
+
+    name = "orb"
+    MIN_FEATURES = 4
+
+    def solve(self, counter: OpCounter):
+        blurred = gaussian_blur(counter, self.image.astype(np.float64), sigma=1.0)
+        keypoints, descriptors = orb_detect_and_describe(
+            counter, blurred.astype(np.uint8)
+        )
+        self.last_n_features = len(keypoints)
+        return keypoints, descriptors
+
+    def validate(self, result) -> bool:
+        keypoints, descriptors = result
+        if len(keypoints) < self.MIN_FEATURES:
+            return False
+        populated = descriptors[descriptors.any(axis=1)]
+        return len(populated) >= self.MIN_FEATURES
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("gaussian_blur", "fast_detector", "harris_score",
+                        "orientation_moments", "rotated_brief", "harness_runtime"))
+
+    def footprint(self) -> Footprint:
+        h, w = self.image_shape
+        data = image_buffer_bytes(h, w) + image_buffer_bytes(h, w, 2) + 24 * 1024
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes,
+                         data_bytes=data)
+
+
+class SiftProblem(_FeatureProblem):
+    """Full SIFT — M7-only (scale space exceeds M4/M33 SRAM)."""
+
+    name = "sift"
+    MIN_FEATURES = 4
+
+    def solve(self, counter: OpCounter):
+        keypoints, descriptors = sift_detect_and_describe(counter, self.image)
+        self.last_n_features = len(keypoints)
+        return keypoints, descriptors
+
+    def validate(self, result) -> bool:
+        keypoints, descriptors = result
+        if len(keypoints) < self.MIN_FEATURES:
+            return False
+        norms = np.linalg.norm(descriptors, axis=1)
+        return bool(np.all(np.abs(norms[: self.MIN_FEATURES] - 1.0) < 0.05))
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("dog_pyramid", "sift_extrema", "sift_orientation",
+                        "sift_descriptor", "gaussian_blur", "image_pyramid",
+                        "harness_runtime"))
+
+    def footprint(self) -> Footprint:
+        return Footprint(
+            flash_bytes=self.static_mix_base().flash_bytes,
+            data_bytes=scale_space_footprint_bytes(self.image_shape),
+        )
+
+
+class _FlowProblem(EntoProblem):
+    """Shared scaffolding for the optical-flow kernels."""
+
+    stage = "P"
+    category = "Opt. Flow"
+    dataset_name = "midd-flow"
+    image_shape = images.FLOW_IMAGE_SHAPE
+    #: Acceptable flow error in pixels.
+    MAX_FLOW_ERR_PX = 0.75
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0,
+                 dataset: str = "midd",
+                 displacement: tuple = (1.6, -2.3)):
+        super().__init__(scalar, seed)
+        self.dataset = dataset
+        self.displacement = displacement
+        self.pair = None
+        self.last_flow_error_px: Optional[float] = None
+
+    def setup(self, rng: np.random.Generator) -> None:
+        self.pair = images.flow_pair(
+            self.dataset, shape=self.image_shape,
+            displacement=self.displacement, seed=self.seed,
+        )
+
+    def _error(self, dy: float, dx: float) -> float:
+        true = self.pair["true_flow"]
+        return float(np.hypot(dy - true[0], dx - true[1]))
+
+    def footprint(self) -> Footprint:
+        h, w = self.image_shape
+        data = 2 * image_buffer_bytes(h, w) + 3 * image_buffer_bytes(h, w, 4)
+        return Footprint(flash_bytes=self.static_mix_base().flash_bytes,
+                         data_bytes=data)
+
+
+class LkofProblem(_FlowProblem):
+    name = "lkof"
+
+    def solve(self, counter: OpCounter):
+        flows = lucas_kanade_flow(counter, self.pair["frame0"], self.pair["frame1"])
+        valid = [(f.dy, f.dx) for f in flows if f.valid]
+        if not valid:
+            self.last_flow_error_px = float("inf")
+            return flows
+        med = np.median(np.array(valid), axis=0)
+        self.last_flow_error_px = self._error(float(med[0]), float(med[1]))
+        return flows
+
+    def validate(self, result) -> bool:
+        return self.last_flow_error_px <= self.MAX_FLOW_ERR_PX
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("lk_gradients", "lk_iteration", "image_pyramid",
+                        "bilinear_interp", "gaussian_blur", "harness_runtime"))
+
+
+class IiofProblem(_FlowProblem):
+    name = "iiof"
+    # Global interpolation is biased at multi-pixel motion; accept a looser
+    # bound (the kernel is meant for small inter-frame motion).
+    MAX_FLOW_ERR_PX = 1.5
+
+    def __init__(self, scalar: ScalarType = F32, seed: int = 0,
+                 dataset: str = "midd", displacement: tuple = (0.8, -1.1)):
+        super().__init__(scalar, seed, dataset, displacement)
+
+    def solve(self, counter: OpCounter):
+        est = image_interpolation_flow(counter, self.pair["frame0"], self.pair["frame1"])
+        self.last_flow_error_px = (
+            self._error(est.dy, est.dx) if est.valid else float("inf")
+        )
+        return est
+
+    def validate(self, result) -> bool:
+        return self.last_flow_error_px <= self.MAX_FLOW_ERR_PX
+
+    def static_mix_base(self) -> StaticMix:
+        return compose(("image_shift_interp", "bilinear_interp", "harness_runtime"))
+
+
+class BbofProblem(_FlowProblem):
+    name = "bbof"
+    vectorized = False
+    # Block matching is integer-pixel; allow the rounding slack.
+    MAX_FLOW_ERR_PX = 0.95
+
+    def solve(self, counter: OpCounter):
+        est = block_matching_flow(
+            counter, self.pair["frame0"], self.pair["frame1"],
+            vectorized=self.vectorized,
+        )
+        self.last_flow_error_px = (
+            self._error(est.dy, est.dx) if est.valid else float("inf")
+        )
+        return est
+
+    def validate(self, result) -> bool:
+        return self.last_flow_error_px <= self.MAX_FLOW_ERR_PX
+
+    def static_mix_base(self) -> StaticMix:
+        block = "sad_block_match_simd" if self.vectorized else "sad_block_match"
+        return compose((block, "harness_runtime"))
+
+
+class BbofVecProblem(BbofProblem):
+    name = "bbof-vec"
+    vectorized = True
+
+
+register("fastbrief")(FastBriefProblem)
+register("orb")(OrbProblem)
+register("sift")(SiftProblem)
+register("lkof")(LkofProblem)
+register("iiof")(IiofProblem)
+register("bbof")(BbofProblem)
+register("bbof-vec")(BbofVecProblem)

@@ -1,0 +1,39 @@
+"""Geometric pose estimation kernels: minimal/linear solvers + LO-RANSAC."""
+
+from repro.pose.absolute import absolute_gold_standard, dlt, p3p, up2p
+from repro.pose.fivept import five_point, five_point_essentials
+from repro.pose.ransac import (
+    AbsolutePoseAdapter,
+    RansacConfig,
+    RansacResult,
+    RelativePoseAdapter,
+    lo_ransac,
+)
+from repro.pose.relative import (
+    eight_point,
+    eight_point_essential,
+    homography_dlt,
+    relative_gold_standard,
+)
+from repro.pose.upright import u3pt, up2pt, up3pt
+
+__all__ = [
+    "absolute_gold_standard",
+    "dlt",
+    "p3p",
+    "up2p",
+    "five_point",
+    "five_point_essentials",
+    "AbsolutePoseAdapter",
+    "RansacConfig",
+    "RansacResult",
+    "RelativePoseAdapter",
+    "lo_ransac",
+    "eight_point",
+    "eight_point_essential",
+    "homography_dlt",
+    "relative_gold_standard",
+    "u3pt",
+    "up2pt",
+    "up3pt",
+]

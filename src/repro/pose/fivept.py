@@ -1,0 +1,219 @@
+"""Nistér/Stewenius five-point relative pose solver.
+
+The minimal essential-matrix solver: five correspondences, a 4-dimensional
+nullspace ``E = x E1 + y E2 + z E3 + E4``, ten cubic constraints
+(``det(E) = 0`` plus the trace constraint ``2 E E^T E - tr(E E^T) E = 0``),
+Gauss-Jordan elimination of the degree-3 monomials, and a 10x10 action
+matrix whose eigenvectors carry the up-to-10 real solutions (Stewenius's
+formulation).  Every candidate must be validated — the cost structure the
+paper's Case Study 4 highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mcu import linalg
+from repro.mcu.ops import OpCounter
+from repro.pose.geometry import decompose_essential, homogeneous
+
+Pose = Tuple[np.ndarray, np.ndarray]
+
+# Monomial order for degree <= 3 polynomials in (x, y, z): the ten cubic
+# monomials to eliminate, then the ten-monomial quotient basis.
+_MONOMIALS = [
+    (3, 0, 0), (2, 1, 0), (2, 0, 1), (1, 2, 0), (1, 1, 1), (1, 0, 2),
+    (0, 3, 0), (0, 2, 1), (0, 1, 2), (0, 0, 3),
+    (2, 0, 0), (1, 1, 0), (1, 0, 1), (0, 2, 0), (0, 1, 1), (0, 0, 2),
+    (1, 0, 0), (0, 1, 0), (0, 0, 1), (0, 0, 0),
+]
+_MONO_INDEX = {m: i for i, m in enumerate(_MONOMIALS)}
+# Quotient-ring basis (columns 10..19): [x^2, xy, xz, y^2, yz, z^2, x, y, z, 1].
+_BASIS = _MONOMIALS[10:]
+
+Poly = Dict[Tuple[int, int, int], float]
+
+
+def _poly_mul(a: Poly, b: Poly) -> Poly:
+    out: Poly = {}
+    for ma, ca in a.items():
+        for mb, cb in b.items():
+            m = (ma[0] + mb[0], ma[1] + mb[1], ma[2] + mb[2])
+            out[m] = out.get(m, 0.0) + ca * cb
+    return out
+
+
+def _poly_add(a: Poly, b: Poly, sign: float = 1.0) -> Poly:
+    out = dict(a)
+    for m, c in b.items():
+        out[m] = out.get(m, 0.0) + sign * c
+    return out
+
+
+def _poly_scale(a: Poly, s: float) -> Poly:
+    return {m: c * s for m, c in a.items()}
+
+
+def _poly_to_row(p: Poly) -> np.ndarray:
+    row = np.zeros(20)
+    for m, c in p.items():
+        row[_MONO_INDEX[m]] = c
+    return row
+
+
+def _symbolic_essential(basis: np.ndarray) -> List[List[Poly]]:
+    """E(x, y, z) = x E1 + y E2 + z E3 + E4 as 3x3 polynomial entries."""
+    e1, e2, e3, e4 = (basis[i].reshape(3, 3) for i in range(4))
+    entries: List[List[Poly]] = []
+    for i in range(3):
+        row = []
+        for j in range(3):
+            row.append(
+                {
+                    (1, 0, 0): float(e1[i, j]),
+                    (0, 1, 0): float(e2[i, j]),
+                    (0, 0, 1): float(e3[i, j]),
+                    (0, 0, 0): float(e4[i, j]),
+                }
+            )
+        entries.append(row)
+    return entries
+
+
+def _constraint_rows(e_sym: List[List[Poly]], counter: OpCounter) -> np.ndarray:
+    """The 10x20 coefficient matrix of det(E)=0 and the trace constraint."""
+    # det(E) — the cofactor expansion over polynomial entries.
+    def minor(i: int, j: int) -> Poly:
+        rows = [r for r in range(3) if r != i]
+        cols = [c for c in range(3) if c != j]
+        return _poly_add(
+            _poly_mul(e_sym[rows[0]][cols[0]], e_sym[rows[1]][cols[1]]),
+            _poly_mul(e_sym[rows[0]][cols[1]], e_sym[rows[1]][cols[0]]),
+            sign=-1.0,
+        )
+
+    det = {}
+    for j in range(3):
+        term = _poly_mul(e_sym[0][j], minor(0, j))
+        det = _poly_add(det, term, sign=1.0 if j % 2 == 0 else -1.0)
+
+    # EE^T
+    eet: List[List[Poly]] = [[{} for _ in range(3)] for _ in range(3)]
+    for i in range(3):
+        for j in range(3):
+            acc: Poly = {}
+            for k in range(3):
+                acc = _poly_add(acc, _poly_mul(e_sym[i][k], e_sym[j][k]))
+            eet[i][j] = acc
+    trace = _poly_add(_poly_add(eet[0][0], eet[1][1]), eet[2][2])
+
+    # 2 EE^T E - tr(EE^T) E = 0  (nine scalar equations).
+    rows = [det]
+    for i in range(3):
+        for j in range(3):
+            acc: Poly = {}
+            for k in range(3):
+                acc = _poly_add(acc, _poly_mul(eet[i][k], e_sym[k][j]))
+            eq = _poly_add(_poly_scale(acc, 2.0),
+                           _poly_mul(trace, e_sym[i][j]), sign=-1.0)
+            rows.append(eq)
+
+    # Symbolic expansion cost: ~60 degree-1x-degree-2 polynomial products,
+    # each ~40 multiply-adds, as straight-line compiled code.
+    counter.flop_mix(add=2400, mul=2600)
+    counter.store(200)
+    return np.vstack([_poly_to_row(p) for p in rows])
+
+
+def five_point_essentials(
+    counter: OpCounter,
+    x1: np.ndarray,
+    x2: np.ndarray,
+) -> List[np.ndarray]:
+    """All real essential-matrix candidates from exactly 5 correspondences."""
+    if len(x1) != 5:
+        raise ValueError("5pt needs exactly 5 correspondences")
+    x1h = homogeneous(x1)
+    x2h = homogeneous(x2)
+    q = np.zeros((5, 9))
+    for i in range(5):
+        q[i] = np.kron(x2h[i], x1h[i])
+    counter.flop_mix(mul=45)
+    counter.store(45)
+
+    # 4-dimensional nullspace via SVD.
+    _, _, vt = linalg.svd(counter, q, full_matrices=True)
+    basis = vt[5:9]
+
+    e_sym = _symbolic_essential(basis)
+    m = _constraint_rows(e_sym, counter)
+
+    try:
+        reduced = linalg.gauss_jordan(counter, m)
+    except np.linalg.LinAlgError:
+        return []
+    c_block = reduced[:, 10:]  # eliminated monomial = -c_block @ basis
+
+    # Action matrix for multiplication by x in the quotient ring.
+    action = np.zeros((10, 10))
+    # x * [x^2, xy, xz, y^2, yz, z^2] lands on eliminated cubics 0..5.
+    for row, cubic_row in enumerate(range(6)):
+        action[row] = -c_block[cubic_row]
+    # x * x = x^2 (basis idx 0), x * y = xy (1), x * z = xz (2), x * 1 = x (6).
+    action[6, 0] = 1.0
+    action[7, 1] = 1.0
+    action[8, 2] = 1.0
+    action[9, 6] = 1.0
+    counter.store(100)
+    counter.ialu(60)
+
+    eigvals, eigvecs = linalg.eig_general(counter, action)
+    essentials: List[np.ndarray] = []
+    for k in range(10):
+        if abs(eigvals[k].imag) > 1e-8:
+            counter.branch(taken=False)
+            continue
+        v = eigvecs[:, k].real
+        if abs(v[9]) < 1e-12:
+            counter.branch(taken=False)
+            continue
+        x = v[6] / v[9]
+        y = v[7] / v[9]
+        z = v[8] / v[9]
+        counter.flop_mix(div=3)
+        e = (
+            x * basis[0].reshape(3, 3)
+            + y * basis[1].reshape(3, 3)
+            + z * basis[2].reshape(3, 3)
+            + basis[3].reshape(3, 3)
+        )
+        counter.flop_mix(add=27, mul=27)
+        norm = np.linalg.norm(e)
+        counter.vec_norm(9)
+        if norm < 1e-12:
+            continue
+        essentials.append(e / norm)
+        counter.vec_scale(9)
+    return essentials
+
+
+def five_point(
+    counter: OpCounter,
+    x1: np.ndarray,
+    x2: np.ndarray,
+    validate_with: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> List[Pose]:
+    """5pt solve + cheirality validation of every candidate.
+
+    ``validate_with`` optionally supplies extra correspondences used for
+    disambiguation (as LO-RANSAC does with the full point set).
+    """
+    vx1, vx2 = validate_with if validate_with is not None else (x1, x2)
+    poses: List[Pose] = []
+    for e in five_point_essentials(counter, x1, x2):
+        pose = decompose_essential(counter, e, vx1, vx2)
+        if pose is not None:
+            poses.append(pose)
+    return poses

@@ -1,0 +1,172 @@
+"""Tests for the attitude-estimation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.attitude.filters import Fourati, Madgwick, Mahony
+from repro.attitude.scalarmath import ScalarMath
+from repro.datasets import imu
+from repro.fixedpoint.qformat import FixedPointContext
+from repro.mcu.ops import OpCounter
+from repro.scalar import F32, parse_scalar, q
+
+
+def run_filter(filt, dataset="bee-hover", use_mag=False, n=200, seed=0):
+    seq = imu.load(dataset, n=n, seed=seed)
+    c = OpCounter()
+    errors = []
+    for i in range(len(seq)):
+        mag = seq.mag[i] if use_mag else None
+        filt.update(seq.gyro[i], seq.accel[i], mag, seq.dt, c)
+        errors.append(imu.quat_angle_deg(np.array(filt.quaternion()), seq.truth[i]))
+    return np.array(errors), c
+
+
+class TestFloatFilters:
+    @pytest.mark.parametrize("filter_cls", [Mahony, Madgwick])
+    @pytest.mark.parametrize("dataset", ["bee-hover", "strider-straight"])
+    def test_imu_filters_converge(self, filter_cls, dataset):
+        errors, _ = run_filter(filter_cls(), dataset=dataset)
+        assert errors[len(errors) // 2 :].mean() < 2.5
+
+    @pytest.mark.parametrize("filter_cls", [Mahony, Madgwick, Fourati])
+    def test_marg_filters_converge(self, filter_cls):
+        errors, _ = run_filter(filter_cls(), use_mag=True)
+        assert errors[len(errors) // 2 :].mean() < 2.5
+
+    def test_fourati_requires_magnetometer(self):
+        f = Fourati()
+        with pytest.raises(ValueError):
+            f.update([0, 0, 0], [0, 0, 1], None, 0.001, OpCounter())
+
+    def test_quaternion_stays_normalized(self):
+        f = Madgwick()
+        run_filter(f, dataset="strider-steer")
+        assert f.quaternion_norm() == pytest.approx(1.0, abs=1e-6)
+
+    def test_marg_costs_more_than_imu(self):
+        """Upgrading to MARG adds only a modest latency increase (paper)."""
+        _, c_imu = run_filter(Mahony(), use_mag=False)
+        _, c_marg = run_filter(Mahony(), use_mag=True)
+        assert c_imu.trace.total < c_marg.trace.total < 3 * c_imu.trace.total
+
+    def test_fourati_heavier_than_mahony(self):
+        """Fourati's LM gain makes it the most expensive filter (Table III)."""
+        _, c_m = run_filter(Mahony(), use_mag=True)
+        _, c_f = run_filter(Fourati(), use_mag=True)
+        assert c_f.trace.total > c_m.trace.total
+
+    def test_reset_restores_identity(self):
+        f = Mahony()
+        run_filter(f, n=20)
+        f.reset()
+        assert f.quaternion() == pytest.approx([1.0, 0.0, 0.0, 0.0])
+
+    def test_zero_accel_does_not_crash(self):
+        f = Mahony()
+        f.update([0.1, 0, 0], [0, 0, 0], None, 0.001, OpCounter())
+        assert np.isfinite(f.quaternion()).all()
+
+
+class TestFixedPointFilters:
+    def test_reasonable_format_tracks(self):
+        f = Mahony(scalar=q(7, 24))
+        errors, _ = run_filter(f, dataset="bee-hover")
+        assert errors[len(errors) // 2 :].mean() < 2.5
+        assert not f.ctx.failed
+
+    def test_narrow_integer_bits_overflow(self):
+        """Fig. 4's left edge: too little dynamic range -> overflow events."""
+        f = Mahony(scalar=q(2, 29))
+        run_filter(f, dataset="strider-steer")
+        assert f.ctx.overflow_events > 0
+
+    def test_narrow_fraction_loses_accuracy(self):
+        """Fig. 4's right edge: too little resolution -> attitude failure."""
+        f = Mahony(scalar=q(22, 9))
+        errors, _ = run_filter(f, dataset="bee-hover")
+        assert errors[len(errors) // 2 :].mean() > 2.5
+
+    def test_feasible_window_exists(self):
+        """Between the two failure cliffs a working band exists."""
+        feasible = []
+        for int_bits in (4, 7, 10, 13):
+            f = Madgwick(scalar=q(int_bits, 31 - int_bits))
+            errors, _ = run_filter(f, dataset="strider-straight", n=150)
+            ok = (not f.ctx.failed) and errors[75:].mean() < 2.5
+            feasible.append(ok)
+        assert any(feasible)
+
+    def test_fixed_context_attached(self):
+        f = Mahony(scalar=q(7, 24))
+        assert isinstance(f.ctx, FixedPointContext)
+
+    def test_float_filter_has_no_fixed_context(self):
+        assert Mahony(scalar=F32).ctx is None
+
+
+class TestScalarMath:
+    def test_const_float(self):
+        m = ScalarMath(F32)
+        assert m.const(1.5) == 1.5
+
+    def test_const_fixed(self):
+        m = ScalarMath(q(7, 24))
+        assert float(m.const(1.5)) == pytest.approx(1.5, abs=1e-6)
+
+    def test_sqrt_paths(self):
+        assert ScalarMath(F32).sqrt(4.0) == pytest.approx(2.0)
+        assert float(ScalarMath(q(7, 24)).sqrt(ScalarMath(q(7, 24)).const(4.0))) == pytest.approx(2.0, abs=1e-3)
+
+    def test_sqrt_of_negative_float_is_zero(self):
+        assert ScalarMath(F32).sqrt(-1.0) == 0.0
+
+    def test_near_zero_detection(self):
+        m = ScalarMath(F32)
+        assert m.near_zero(1e-12)
+        assert not m.near_zero(0.5)
+
+    def test_divide_guard(self):
+        m = ScalarMath(F32)
+        assert m.divide(1.0, 0.0) == 0.0
+        assert m.divide(6.0, 2.0) == 3.0
+
+    def test_vector_conversion(self):
+        m = ScalarMath(q(7, 24))
+        v = m.vector([1.0, -2.0, 0.5])
+        assert m.to_floats(v) == pytest.approx([1.0, -2.0, 0.5], abs=1e-6)
+
+
+class TestAttitudeProblems:
+    def test_problem_validates_on_all_datasets(self):
+        from repro.core import registry
+
+        for dataset in ("bee-hover", "strider-straight", "strider-steer"):
+            p = registry.create("madgwick", dataset=dataset, n_samples=150)
+            p.ensure_setup()
+            result = p.solve(OpCounter())
+            assert p.validate(result)
+
+    def test_failure_events_reported(self):
+        from repro.core import registry
+
+        p = registry.create("mahony", scalar=q(2, 29), dataset="strider-steer",
+                            n_samples=150)
+        p.ensure_setup()
+        p.solve(OpCounter())
+        events = p.failure_events()
+        assert events["overflow"] > 0
+
+    def test_work_units_equals_sequence_length(self):
+        from repro.core import registry
+
+        p = registry.create("fourati", n_samples=123)
+        p.ensure_setup()
+        assert p.work_units == 123
+
+    def test_flop_estimate_positive(self):
+        from repro.core import registry
+
+        p = registry.create("mahony", n_samples=100)
+        p.ensure_setup()
+        assert p.flop_estimate() > 0

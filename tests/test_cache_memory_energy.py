@@ -1,0 +1,162 @@
+"""Tests for the cache, memory-fit, and energy models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mcu.arch import M0PLUS, M33, M4, M7
+from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheModel
+from repro.mcu.energy import EnergyModel
+from repro.mcu.memory import (
+    Footprint,
+    MemoryFitError,
+    check_fit,
+    image_buffer_bytes,
+    require_fit,
+)
+from repro.mcu.ops import OpTrace
+from repro.mcu.pipeline import CycleBreakdown, PipelineModel
+from repro.scalar import F32
+
+
+class TestCacheModel:
+    def test_fitting_working_set_hits_high(self):
+        cm = CacheModel(M7, CACHE_ON)
+        assert cm.dmem_hit_rate(4000) > 0.95
+
+    def test_oversized_working_set_hits_lower(self):
+        cm = CacheModel(M7, CACHE_ON)
+        small = cm.dmem_hit_rate(8 * 1024)
+        big = cm.dmem_hit_rate(512 * 1024)
+        assert big < small
+
+    def test_disabled_cache_never_hits(self):
+        cm = CacheModel(M7, CACHE_OFF)
+        assert cm.dmem_hit_rate(100) == 0.0
+
+    def test_no_dcache_on_m4(self):
+        cm = CacheModel(M4, CACHE_ON)
+        assert cm.dmem_hit_rate(100) == 0.0
+
+    def test_m4_art_keeps_prefetch_when_disabled(self):
+        cm = CacheModel(M4, CACHE_OFF)
+        assert cm.ifetch_hit_rate(10000) > 0.0
+
+    def test_m33_icache_disabled_means_zero(self):
+        cm = CacheModel(M33, CACHE_OFF)
+        assert cm.ifetch_hit_rate(10000) == 0.0
+
+    @given(st.integers(min_value=0, max_value=10**7))
+    def test_hit_rates_bounded(self, footprint):
+        for arch in (M4, M33, M7):
+            for cfg in (CACHE_ON, CACHE_OFF):
+                cm = CacheModel(arch, cfg)
+                assert 0.0 <= cm.ifetch_hit_rate(footprint) <= 1.0
+                assert 0.0 <= cm.dmem_hit_rate(footprint) <= 1.0
+
+    def test_stalls_monotone_in_accesses(self):
+        cm = CacheModel(M7, CACHE_OFF)
+        assert cm.dmem_stalls(1000, 64000) > cm.dmem_stalls(100, 64000)
+
+    def test_activity_zero_when_disabled(self):
+        assert CacheModel(M7, CACHE_OFF).activity(1000, 1000) == 0.0
+
+    def test_activity_positive_when_enabled(self):
+        assert CacheModel(M7, CACHE_ON).activity(1000, 1000) > 0.3
+
+
+class TestMemoryFit:
+    def test_small_kernel_fits_everything(self):
+        fp = Footprint(flash_bytes=2000, data_bytes=512)
+        for arch in (M0PLUS, M4, M33, M7):
+            assert check_fit(fp, arch).fits
+
+    def test_sift_class_footprint_only_fits_m7(self):
+        from repro.perception.sift import scale_space_footprint_bytes
+
+        fp = Footprint(flash_bytes=76000,
+                       data_bytes=scale_space_footprint_bytes((160, 160)))
+        assert not check_fit(fp, M4).fits
+        assert not check_fit(fp, M33).fits
+        assert check_fit(fp, M7).fits
+
+    def test_require_fit_raises(self):
+        fp = Footprint(flash_bytes=10 * 1024 * 1024, data_bytes=512)
+        with pytest.raises(MemoryFitError):
+            require_fit(fp, M4, "huge")
+
+    def test_fit_report_utilization(self):
+        fp = Footprint(flash_bytes=100 * 1024, data_bytes=32 * 1024)
+        rep = check_fit(fp, M4)
+        assert 0 < rep.flash_utilization < 1
+        assert 0 < rep.sram_utilization < 1
+
+    def test_image_buffer_bytes(self):
+        assert image_buffer_bytes(160, 160) == 25600
+        assert image_buffer_bytes(80, 80, bytes_per_px=4, copies=2) == 51200
+
+    def test_stack_included_in_sram(self):
+        fp = Footprint(flash_bytes=0, data_bytes=0, stack_bytes=8192)
+        assert fp.sram_bytes == 8192
+
+
+def _report(arch, trace, compute, ifetch=0.0, dmem=0.0, cache_activity=0.0):
+    bd = CycleBreakdown(compute, ifetch, dmem)
+    return EnergyModel(arch).report(trace, bd, cache_activity)
+
+
+class TestEnergyModel:
+    TRACE = OpTrace(fadd=500, fmul=500, load=800, store=200, ialu=400)
+
+    def test_energy_is_power_times_latency(self):
+        r = _report(M4, self.TRACE, compute=10000)
+        assert r.energy_j == pytest.approx(r.avg_power_w * r.latency_s)
+
+    def test_peak_at_least_average(self):
+        for arch in (M0PLUS, M4, M33, M7):
+            r = _report(arch, self.TRACE, compute=10000)
+            assert r.peak_power_w >= r.avg_power_w
+
+    def test_m33_most_energy_efficient(self):
+        """The process-node headline: M33 wins on energy (paper S5)."""
+        pms = {a.name: PipelineModel(a) for a in (M4, M33, M7)}
+        ems = {a.name: EnergyModel(a) for a in (M4, M33, M7)}
+        energies = {}
+        for arch in (M4, M33, M7):
+            bd = pms[arch.name].cycles(self.TRACE, F32, CACHE_ON, 8000, 4000)
+            energies[arch.name] = ems[arch.name].report(self.TRACE, bd, 0.5).energy_j
+        assert energies["m33"] < energies["m4"]
+        assert energies["m33"] < energies["m7"]
+
+    def test_stalled_core_draws_less_power(self):
+        busy = _report(M7, self.TRACE, compute=10000, dmem=0)
+        stalled = _report(M7, self.TRACE, compute=10000, dmem=30000)
+        assert stalled.avg_power_w < busy.avg_power_w
+
+    def test_cache_off_costs_more_energy_on_m7(self):
+        """Stalls cut power but latency grows more: energy rises (Table IV)."""
+        pm = PipelineModel(M7)
+        em = EnergyModel(M7)
+        on_bd = pm.cycles(self.TRACE, F32, CACHE_ON, 20000, 30000)
+        off_bd = pm.cycles(self.TRACE, F32, CACHE_OFF, 20000, 30000)
+        on = em.report(self.TRACE, on_bd, CacheModel(M7, CACHE_ON).activity(20000, 30000))
+        off = em.report(self.TRACE, off_bd, CacheModel(M7, CACHE_OFF).activity(20000, 30000))
+        assert off.energy_j > on.energy_j
+        assert off.peak_power_w < on.peak_power_w  # cache burst power gone
+
+    def test_m0plus_low_power_but_loses_energy(self):
+        """Racing to idle: M0+ draws ~15 mW yet loses on energy (CS2)."""
+        pm0, pm4 = PipelineModel(M0PLUS), PipelineModel(M4)
+        em0, em4 = EnergyModel(M0PLUS), EnergyModel(M4)
+        bd0 = pm0.cycles(self.TRACE, F32, CACHE_ON, 4000, 1000)
+        bd4 = pm4.cycles(self.TRACE, F32, CACHE_ON, 4000, 1000)
+        r0 = em0.report(self.TRACE, bd0, 0.0)
+        r4 = em4.report(self.TRACE, bd4, 0.5)
+        assert r0.avg_power_w < r4.avg_power_w
+        assert r0.energy_j > r4.energy_j
+
+    def test_unit_conversions(self):
+        r = _report(M4, self.TRACE, compute=17000)  # 100 us at 170 MHz
+        assert r.latency_us == pytest.approx(100.0)
+        assert r.energy_uj == pytest.approx(r.energy_j * 1e6)
+        assert r.peak_power_mw == pytest.approx(r.peak_power_w * 1e3)

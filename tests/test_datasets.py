@@ -1,0 +1,207 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import fusion, images, imu, pose, trajectories
+
+
+class TestImages:
+    def test_shapes_and_dtype(self):
+        for name in ("midd", "lights", "april"):
+            img = images.load(name)
+            assert img.shape == images.FEATURE_IMAGE_SHAPE
+            assert img.dtype == np.uint8
+
+    def test_custom_shape(self):
+        img = images.load("midd", shape=(80, 80))
+        assert img.shape == (80, 80)
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(images.load("midd", seed=3), images.load("midd", seed=3))
+        assert not np.array_equal(images.load("midd", seed=3), images.load("midd", seed=4))
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            images.load("kitti")
+
+    def test_lights_is_mostly_dark(self):
+        img = images.load("lights")
+        assert np.median(img) < 20
+
+    def test_april_has_high_contrast(self):
+        img = images.load("april")
+        assert img.max() > 240 and img.min() < 15
+
+    def test_shift_image_moves_content(self):
+        img = images.load("midd", shape=(64, 64))
+        shifted = images.shift_image(img, 3.0, 0.0)
+        # Content moved down by 3 rows (interior agrees).
+        assert np.abs(
+            shifted[10:50, 10:50].astype(int) - img[7:47, 10:50].astype(int)
+        ).mean() < 2.0
+
+    def test_flow_pair_carries_truth(self):
+        pair = images.flow_pair("midd", displacement=(1.0, -2.0))
+        assert pair["true_flow"].tolist() == [1.0, -2.0]
+        assert pair["frame0"].shape == images.FLOW_IMAGE_SHAPE
+
+
+class TestImu:
+    @pytest.mark.parametrize("name", ["bee-hover", "strider-straight", "strider-steer"])
+    def test_sequence_structure(self, name):
+        seq = imu.load(name, n=100)
+        assert len(seq) == 100
+        assert seq.gyro.shape == (100, 3)
+        assert seq.accel.shape == (100, 3)
+        assert seq.mag.shape == (100, 3)
+        assert seq.truth.shape == (100, 4)
+
+    def test_truth_quaternions_normalized(self):
+        seq = imu.load("bee-hover", n=50)
+        norms = np.linalg.norm(seq.truth, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_accel_near_one_g_at_rest_phases(self):
+        seq = imu.load("bee-hover", n=200)
+        mags = np.linalg.norm(seq.accel, axis=1)
+        assert 0.7 < np.median(mags) < 1.3  # g-normalized
+
+    def test_steer_has_largest_gyro_range(self):
+        """The Case Study 2 stressor: steering produces unbounded rates."""
+        straight = imu.load("strider-straight", n=200).max_sensor_magnitude()
+        steer = imu.load("strider-steer", n=200).max_sensor_magnitude()
+        assert steer > 2 * straight
+
+    def test_mag_is_unit_field(self):
+        seq = imu.load("strider-straight", n=100)
+        assert np.allclose(np.linalg.norm(seq.mag, axis=1), 1.0, atol=0.1)
+
+    def test_quat_angle_identity(self):
+        q = imu.quat_from_euler(0.3, -0.2, 0.5)
+        assert imu.quat_angle_deg(q, q) == pytest.approx(0.0, abs=1e-6)
+
+    @given(st.floats(-1.0, 1.0), st.floats(-1.0, 1.0), st.floats(-1.0, 1.0))
+    @settings(max_examples=30)
+    def test_quat_matrix_is_rotation(self, r, p, y):
+        m = imu.quat_to_matrix(imu.quat_from_euler(r, p, y))
+        assert np.allclose(m @ m.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(m) == pytest.approx(1.0)
+
+    def test_gyro_consistent_with_truth(self):
+        """Integrating gyro should roughly track the true attitude."""
+        seq = imu.load("bee-hover", n=300, seed=5)
+        q = seq.truth[0].copy()
+        for i in range(1, len(seq)):
+            w = seq.gyro[i]
+            dq = imu.quat_mul(q, np.array([0.0, *w]) * 0.5 * seq.dt)
+            q = q + dq
+            q /= np.linalg.norm(q)
+        assert imu.quat_angle_deg(q, seq.truth[-1]) < 10.0
+
+
+class TestPoseData:
+    def test_absolute_projection_consistency(self):
+        prob = pose.make_absolute_problem(n_points=12, noise_px=0.0, seed=1)
+        cam = prob.points_world @ prob.r_true.T + prob.t_true
+        proj = cam[:, :2] / cam[:, 2:3]
+        assert np.allclose(proj, prob.points_image, atol=1e-12)
+        assert np.all(cam[:, 2] > 0)
+
+    def test_absolute_upright_rotation_is_yaw(self):
+        prob = pose.make_absolute_problem(upright=True, seed=2)
+        # Yaw rotation preserves the y-axis.
+        assert np.allclose(prob.r_true @ [0, 1, 0], [0, 1, 0], atol=1e-12)
+
+    def test_outlier_mask_size(self):
+        prob = pose.make_absolute_problem(n_points=20, outlier_ratio=0.25, seed=3)
+        assert int((~prob.inlier_mask).sum()) == 5
+
+    def test_relative_epipolar_constraint(self):
+        prob = pose.make_relative_problem(n_points=10, noise_px=0.0, seed=4)
+        e = prob.essential_true()
+        x1h = np.hstack([prob.x1, np.ones((10, 1))])
+        x2h = np.hstack([prob.x2, np.ones((10, 1))])
+        residuals = np.abs(np.sum(x2h * (x1h @ e.T), axis=1))
+        assert residuals.max() < 1e-10
+
+    def test_relative_planar_translation(self):
+        prob = pose.make_relative_problem(planar=True, upright=True, seed=5)
+        assert prob.t_true[1] == 0.0
+
+    def test_homography_maps_points(self):
+        prob = pose.make_homography_problem(n_points=10, noise_px=0.0, seed=6)
+        x1h = np.hstack([prob.x1, np.ones((10, 1))])
+        mapped = x1h @ prob.h_true.T
+        mapped = mapped[:, :2] / mapped[:, 2:3]
+        assert np.allclose(mapped, prob.x2, atol=1e-9)
+
+    def test_rotation_utilities(self):
+        r = pose.yaw_rotation(0.4)
+        assert pose.rotation_angle_deg(r, r) == pytest.approx(0.0, abs=1e-8)
+        assert pose.rotation_angle_deg(np.eye(3), r) == pytest.approx(np.degrees(0.4))
+
+    def test_translation_direction_error_scale_free(self):
+        t = np.array([1.0, 2.0, 3.0])
+        assert pose.translation_direction_error_deg(t, 5 * t) == pytest.approx(0.0, abs=1e-2)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_rotation_valid(self, seed):
+        r = pose.random_rotation(np.random.default_rng(seed))
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestFusionData:
+    def test_fly_synth_rates(self):
+        seq = fusion.fly_synth(n=100, tof_divisor=5, flow_divisor=2)
+        tof_count = sum(1 for s in seq.samples if s.tof is not None)
+        flow_count = sum(1 for s in seq.samples if s.flow is not None)
+        assert tof_count == 20
+        assert flow_count == 50
+
+    def test_bee_hil_structure(self):
+        seq = fusion.bee_hil(n=40)
+        assert seq.state_dim == 10
+        assert all(s.imu.shape == (6,) for s in seq.samples)
+
+    def test_tof_measures_range_not_altitude(self):
+        seq = fusion.fly_synth(n=50, seed=7)
+        for s in seq.samples:
+            if s.tof is not None:
+                z, theta = s.true_state[0], s.true_state[3]
+                assert s.tof == pytest.approx(z / np.cos(theta), abs=0.03)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            fusion.load("car-synth")
+
+
+class TestTrajectories:
+    def test_hover_is_zero(self):
+        traj = trajectories.hover(4, 1, n=10)
+        assert not traj.states.any()
+
+    def test_step_changes_at_midpoint(self):
+        traj = trajectories.step(4, 1, n=10, amplitude=0.5)
+        assert traj.states[4, 0] == 0.0
+        assert traj.states[5, 0] == 0.5
+
+    def test_figure_eight_velocity_feedforward(self):
+        traj = trajectories.figure_eight(6, 3, n=100, dt=0.01, velocity_offset=3)
+        # velocity channel should match numerical derivative of position
+        vel_num = np.gradient(traj.states[:, 0], 0.01)
+        assert np.allclose(traj.states[5:-5, 3], vel_num[5:-5], rtol=0.05, atol=0.02)
+
+    def test_window_pads_at_end(self):
+        traj = trajectories.hover(2, 1, n=5)
+        win = traj.window(3, 6)
+        assert win.shape == (6, 2)
+
+    def test_perturbed_initial_state_deterministic(self):
+        a = trajectories.perturbed_initial_state(4, seed=1)
+        b = trajectories.perturbed_initial_state(4, seed=1)
+        assert np.array_equal(a, b)

@@ -1,0 +1,165 @@
+"""Tests for the EKF kernels (base framework, fly-ekf, bee-ceekf)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import fusion
+from repro.ekf.base import SEQUENTIAL, STRATEGIES, SYNC, TRUNCATED, ExtendedKalmanFilter
+from repro.ekf.bee_ekf import BeeComplementaryEkf
+from repro.ekf.fly_ekf import FlyEkf
+from repro.mcu.ops import OpCounter
+
+
+def run_fly(strategy, n=150, seed=0):
+    seq = fusion.fly_synth(n=n, seed=seed)
+    filt = FlyEkf(strategy=strategy)
+    c = OpCounter()
+    errors = []
+    for s in seq.samples:
+        x = filt.step(seq.dt, c, s.imu, s.tof, s.flow)
+        errors.append(x - s.true_state)
+    return filt, np.array(errors), c
+
+
+class TestGenericEkf:
+    @staticmethod
+    def _linear_ekf():
+        # 2-state constant-velocity model, position measured.
+        def dyn(x, u, dt):
+            return np.array([x[0] + x[1] * dt, x[1]])
+
+        def jac(x, u, dt):
+            return np.array([[1.0, dt], [0.0, 1.0]])
+
+        return ExtendedKalmanFilter(
+            x0=np.zeros(2), p0=np.eye(2), dynamics=dyn, dynamics_jacobian=jac,
+            process_noise=np.eye(2) * 1e-4,
+        )
+
+    def test_tracks_linear_system(self):
+        rng = np.random.default_rng(0)
+        ekf = self._linear_ekf()
+        c = OpCounter()
+        true_pos, true_vel = 0.0, 0.7
+        h_jac = np.array([[1.0, 0.0]])
+        for _ in range(100):
+            true_pos += true_vel * 0.01
+            ekf.predict(None, 0.01, c)
+            z = np.array([true_pos + rng.normal(0, 0.005)])
+            ekf.update_sync(z, lambda s: np.array([s[0]]), h_jac,
+                            np.array([[2.5e-5]]), c)
+        assert ekf.x[0] == pytest.approx(true_pos, abs=0.02)
+        assert ekf.x[1] == pytest.approx(true_vel, abs=0.15)
+
+    def test_sequential_equals_sync_for_diagonal_noise(self):
+        """With independent scalar measurements both updates should land
+        near the same posterior."""
+        rng = np.random.default_rng(1)
+        ekf_a, ekf_b = self._linear_ekf(), self._linear_ekf()
+        c = OpCounter()
+        h_jac = np.array([[1.0, 0.0], [0.0, 1.0]])
+        r = np.array([1e-4, 1e-4])
+        for _ in range(50):
+            z = np.array([rng.normal(0.5, 0.01), rng.normal(0.1, 0.01)])
+            ekf_a.predict(None, 0.01, c)
+            ekf_b.predict(None, 0.01, c)
+            ekf_a.update_sync(z, lambda s: s.copy(), h_jac, np.diag(r), c)
+            ekf_b.update_sequential(z, lambda s: s.copy(), h_jac, r, c)
+        assert np.allclose(ekf_a.x, ekf_b.x, atol=0.02)
+
+    def test_numeric_jacobian_matches_analytic(self):
+        ekf = self._linear_ekf()
+        c = OpCounter()
+        analytic = ekf.dynamics_jacobian(ekf.x, None, 0.01)
+        ekf.dynamics_jacobian = None
+        numeric = ekf._numeric_jacobian_f(None, 0.01, c)
+        assert np.allclose(numeric, analytic, atol=1e-4)
+
+    def test_covariance_stays_psd(self):
+        ekf = self._linear_ekf()
+        c = OpCounter()
+        for _ in range(200):
+            ekf.predict(None, 0.01, c)
+            ekf.update_sequential(np.array([0.0]), lambda s: np.array([s[0]]),
+                                  np.array([[1.0, 0.0]]), np.array([1e-4]), c)
+        assert ekf.is_covariance_psd()
+
+    def test_truncated_update_touches_fewer_states(self):
+        ekf = self._linear_ekf()
+        c1, c2 = OpCounter(), OpCounter()
+        z = np.array([0.3])
+        h = np.array([[1.0, 0.0]])
+        r = np.array([1e-4])
+        ekf.update_sequential(z, lambda s: np.array([s[0]]), h, r, c1)
+        ekf.update_sequential(z, lambda s: np.array([s[0]]), h, r, c2,
+                              truncate_to=1)
+        assert c2.trace.total < c1.trace.total
+
+
+class TestFlyEkf:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_tracks_flight(self, strategy):
+        _, errors, _ = run_fly(strategy)
+        tail = errors[len(errors) // 2 :]
+        assert np.sqrt(np.mean(tail[:, 0] ** 2)) < 0.02  # altitude
+        assert np.sqrt(np.mean(tail[:, 3] ** 2)) < 0.02  # pitch
+
+    def test_strategy_cost_ordering(self):
+        """Table IV/VIII: sync < seq; trunc cheapest of the sequential pair."""
+        costs = {}
+        for strategy in STRATEGIES:
+            _, _, c = run_fly(strategy, n=100)
+            costs[strategy] = c.trace.total
+        assert costs[SEQUENTIAL] > costs[SYNC]
+        assert costs[TRUNCATED] < costs[SEQUENTIAL]
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            FlyEkf(strategy="batch")
+
+    def test_flop_estimates_ordered(self):
+        assert FlyEkf.flops_per_update(SYNC) > FlyEkf.flops_per_update(TRUNCATED)
+
+    def test_runs_without_measurements(self):
+        filt = FlyEkf()
+        c = OpCounter()
+        x = filt.step(0.002, c, np.array([0.01, 0.0]))
+        assert np.isfinite(x).all()
+
+
+class TestBeeEkf:
+    def test_tracks_hil_trace(self):
+        seq = fusion.bee_hil(n=60)
+        filt = BeeComplementaryEkf()
+        c = OpCounter()
+        errors = []
+        for s in seq.samples:
+            x = filt.step(seq.dt, c, s.imu, s.tof)
+            errors.append(x - s.true_state)
+        errors = np.array(errors)
+        tail = errors[len(errors) // 2 :]
+        assert np.sqrt(np.mean(tail[:, 0:3] ** 2)) < 0.12
+        assert np.sqrt(np.mean(tail[:, 6:9] ** 2)) < 0.05
+
+    def test_much_heavier_than_fly_ekf(self):
+        """The generic-framework deployment costs far more per update
+        (Table IV: bee-ceekf ~100x fly-ekf)."""
+        _, _, c_fly = run_fly(SYNC, n=50)
+        seq = fusion.bee_hil(n=50)
+        filt = BeeComplementaryEkf()
+        c_bee = OpCounter()
+        for s in seq.samples:
+            filt.step(seq.dt, c_bee, s.imu, s.tof)
+        per_update_fly = c_fly.trace.total / 50
+        per_update_bee = c_bee.trace.total / 50
+        assert per_update_bee > 10 * per_update_fly
+
+    def test_flop_estimate_far_below_recorded(self):
+        """Case Study 3's core claim, in trace form."""
+        seq = fusion.bee_hil(n=20)
+        filt = BeeComplementaryEkf()
+        c = OpCounter()
+        for s in seq.samples:
+            filt.step(seq.dt, c, s.imu, s.tof)
+        recorded_per_update = c.trace.total / 20
+        assert recorded_per_update > 20 * BeeComplementaryEkf.flops_per_update()

@@ -1,0 +1,125 @@
+"""Tests for the AXLE chain-factor-graph smoothing kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorgraph.axle import (
+    ChainFactorGraph,
+    relative_pose,
+    smooth,
+    solve_dense_for_reference,
+    wrap_angle,
+    _assemble,
+    _solve_block_tridiagonal,
+)
+from repro.factorgraph.suite import AxleSmoothingProblem, make_smoothing_problem
+from repro.mcu.ops import OpCounter
+
+
+class TestPoseAlgebra:
+    @given(st.floats(-10, 10))
+    @settings(max_examples=40)
+    def test_wrap_angle_range(self, a):
+        w = wrap_angle(a)
+        assert -np.pi < w <= np.pi
+
+    def test_relative_pose_identity(self):
+        p = np.array([1.0, 2.0, 0.5])
+        assert relative_pose(p, p) == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_relative_pose_composition(self):
+        a = np.array([0.0, 0.0, np.pi / 2])
+        b = np.array([0.0, 1.0, np.pi / 2])
+        rel = relative_pose(a, b)
+        # Moving 1 along world +y while facing +y is 1 along local +x.
+        assert rel == pytest.approx([1.0, 0.0, 0.0], abs=1e-12)
+
+
+class TestGraphConstruction:
+    def test_out_of_range_factors_rejected(self):
+        g = ChainFactorGraph(5)
+        with pytest.raises(ValueError):
+            g.add_odometry(4, np.zeros(3))  # connects 4->5, out of range
+        with pytest.raises(ValueError):
+            g.add_prior(5, np.zeros(3))
+
+    def test_factors_stored(self):
+        g = ChainFactorGraph(4)
+        g.add_odometry(0, np.array([0.1, 0.0, 0.0]))
+        g.add_prior(0, np.zeros(3))
+        assert len(g.odometry) == 1
+        assert len(g.priors) == 1
+
+
+class TestSolver:
+    def test_block_tridiagonal_matches_dense(self):
+        graph, initial, _ = make_smoothing_problem(n_poses=12, seed=3)
+        c = OpCounter()
+        diag, off, rhs = _assemble(c, graph, initial)
+        thomas = _solve_block_tridiagonal(c, diag, off, rhs)
+        dense = solve_dense_for_reference(c, graph, initial)
+        assert np.allclose(thomas, dense, atol=1e-8)
+
+    def test_thomas_far_cheaper_than_dense(self):
+        """AXLE's point: the chain structure keeps the solve O(N)."""
+        graph, initial, _ = make_smoothing_problem(n_poses=40, seed=0)
+        c_dense, c_thomas = OpCounter(), OpCounter()
+        solve_dense_for_reference(c_dense, graph, initial)
+        diag, off, rhs = _assemble(c_thomas, graph, initial)
+        _solve_block_tridiagonal(c_thomas, diag, off, rhs)
+        assert c_dense.trace.total > 20 * c_thomas.trace.total
+
+    def test_thomas_cost_linear_in_length(self):
+        costs = []
+        for n in (20, 40, 80):
+            graph, initial, _ = make_smoothing_problem(n_poses=n, seed=0)
+            c = OpCounter()
+            diag, off, rhs = _assemble(c, graph, initial)
+            base = c.trace.total
+            _solve_block_tridiagonal(c, diag, off, rhs)
+            costs.append(c.trace.total - base)
+        # Doubling N roughly doubles (not quadruples+) the solve cost.
+        assert costs[1] / costs[0] < 3.0
+        assert costs[2] / costs[1] < 3.0
+
+
+class TestSmoothing:
+    def test_reduces_trajectory_error(self):
+        graph, initial, truth = make_smoothing_problem(n_poses=40, seed=1)
+        result = smooth(OpCounter(), graph, initial)
+        before = np.sqrt(np.mean((initial[:, :2] - truth[:, :2]) ** 2))
+        after = np.sqrt(np.mean((result.poses[:, :2] - truth[:, :2]) ** 2))
+        assert result.converged
+        assert after < 0.4 * before
+
+    def test_cost_decreases(self):
+        graph, initial, _ = make_smoothing_problem(n_poses=30, seed=2)
+        result = smooth(OpCounter(), graph, initial)
+        assert result.final_cost < result.initial_cost
+
+    def test_anchored_start_stays_put(self):
+        graph, initial, truth = make_smoothing_problem(n_poses=20, seed=4)
+        result = smooth(OpCounter(), graph, initial)
+        assert np.linalg.norm(result.poses[0, :2] - truth[0, :2]) < 0.02
+
+    def test_bad_initial_shape_rejected(self):
+        graph, _, _ = make_smoothing_problem(n_poses=10)
+        with pytest.raises(ValueError):
+            smooth(OpCounter(), graph, np.zeros((5, 3)))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_problem_validates(self, seed):
+        p = AxleSmoothingProblem(seed=seed)
+        p.ensure_setup()
+        result = p.solve(OpCounter())
+        assert p.validate(result)
+
+    def test_registered_in_suite(self):
+        from repro.core import registry
+
+        assert registry.is_registered("axle-smooth")
+        p = registry.create("axle-smooth", n_poses=25)
+        p.ensure_setup()
+        assert p.graph.n_poses == 25

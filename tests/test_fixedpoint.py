@@ -1,0 +1,179 @@
+"""Tests for the Q-format fixed-point substrate."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint.qformat import (
+    Fixed,
+    FixedPointContext,
+    FixedVector,
+    QFormat,
+    all_q_formats,
+    required_int_bits,
+)
+
+
+def fx(value, fmt=None, ctx=None):
+    fmt = fmt or QFormat(7, 24)
+    ctx = ctx or FixedPointContext()
+    return Fixed.from_float(value, fmt, ctx)
+
+
+class TestQFormat:
+    def test_bit_budget_enforced(self):
+        with pytest.raises(ValueError):
+            QFormat(10, 10)
+
+    def test_resolution(self):
+        assert QFormat(7, 24).resolution == pytest.approx(2**-24)
+
+    def test_max_value(self):
+        f = QFormat(7, 24)
+        assert f.max_value == pytest.approx(128.0, rel=1e-6)
+
+    def test_equality_and_hash(self):
+        assert QFormat(7, 24) == QFormat(7, 24)
+        assert QFormat(7, 24) != QFormat(8, 23)
+        assert len({QFormat(7, 24), QFormat(7, 24)}) == 1
+
+    def test_all_q_formats_sweep(self):
+        formats = all_q_formats(1, 28)
+        assert len(formats) == 28
+        assert all(f.int_bits + f.frac_bits == 31 for f in formats)
+
+    def test_required_int_bits(self):
+        assert required_int_bits(0.5) == 0
+        assert required_int_bits(1.0) == 1
+        assert required_int_bits(100.0) == 7
+        assert required_int_bits(0.0) == 0
+
+
+class TestFixedArithmetic:
+    @given(st.floats(min_value=-50, max_value=50),
+           st.floats(min_value=-50, max_value=50))
+    def test_add_matches_float(self, a, b):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        r = Fixed.from_float(a, fmt, ctx) + Fixed.from_float(b, fmt, ctx)
+        if not ctx.failed:
+            assert float(r) == pytest.approx(a + b, abs=1e-5)
+
+    @given(st.floats(min_value=-10, max_value=10),
+           st.floats(min_value=-10, max_value=10))
+    def test_mul_matches_float(self, a, b):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        r = Fixed.from_float(a, fmt, ctx) * Fixed.from_float(b, fmt, ctx)
+        if not ctx.failed:
+            assert float(r) == pytest.approx(a * b, abs=1e-4)
+
+    @given(st.floats(min_value=-50, max_value=50),
+           st.floats(min_value=0.1, max_value=50))
+    def test_div_matches_float(self, a, b):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        r = Fixed.from_float(a, fmt, ctx) / Fixed.from_float(b, fmt, ctx)
+        if not ctx.failed:
+            assert float(r) == pytest.approx(a / b, abs=1e-3)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_sqrt_matches_float(self, a):
+        r = fx(a).sqrt()
+        assert float(r) == pytest.approx(math.sqrt(a), abs=2e-4)
+
+    def test_overflow_saturates_and_records(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(3, 28)  # max ~8
+        a = Fixed.from_float(7.0, fmt, ctx)
+        b = a + a
+        assert ctx.overflow_events >= 1
+        assert float(b) == pytest.approx(fmt.max_value, rel=1e-5)
+
+    def test_near_zero_division_records_event(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        one = Fixed.from_float(1.0, fmt, ctx)
+        tiny = Fixed(1, fmt, ctx)  # one LSB
+        one / tiny
+        assert ctx.div_by_near_zero_events == 1
+
+    def test_sqrt_negative_records_event(self):
+        ctx = FixedPointContext()
+        v = Fixed.from_float(-1.0, QFormat(7, 24), ctx)
+        assert float(v.sqrt()) == 0.0
+        assert ctx.sqrt_negative_events == 1
+
+    def test_mixed_formats_rejected(self):
+        ctx = FixedPointContext()
+        a = Fixed.from_float(1.0, QFormat(7, 24), ctx)
+        b = Fixed.from_float(1.0, QFormat(8, 23), ctx)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_comparisons(self):
+        assert fx(1.0) < fx(2.0)
+        assert fx(2.0) >= fx(2.0)
+        assert fx(3.0) == fx(3.0)
+
+    def test_negation_and_abs(self):
+        assert float(-fx(1.5)) == pytest.approx(-1.5)
+        assert float(abs(fx(-2.5))) == pytest.approx(2.5)
+
+    def test_coercion_from_python_float(self):
+        r = fx(2.0) * 3.0
+        assert float(r) == pytest.approx(6.0, abs=1e-5)
+
+    def test_recip_sqrt(self):
+        r = fx(4.0).recip_sqrt()
+        assert float(r) == pytest.approx(0.5, abs=1e-3)
+
+    def test_context_failed_flag(self):
+        ctx = FixedPointContext()
+        assert not ctx.failed
+        ctx.overflow_events = 1
+        assert ctx.failed
+
+    def test_narrow_fraction_loses_precision(self):
+        """Few fractional bits -> visible quantization (Fig. 4's right side)."""
+        coarse = QFormat(27, 4)
+        ctx = FixedPointContext()
+        v = Fixed.from_float(0.07, coarse, ctx)
+        assert abs(float(v) - 0.07) > 0.005
+
+
+class TestFixedVector:
+    def test_dot_and_norm(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        v = FixedVector.from_floats([3.0, 4.0, 0.0], fmt, ctx)
+        assert float(v.norm()) == pytest.approx(5.0, abs=1e-4)
+        assert float(v.dot(v)) == pytest.approx(25.0, abs=1e-3)
+
+    def test_cross(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        x = FixedVector.from_floats([1, 0, 0], fmt, ctx)
+        y = FixedVector.from_floats([0, 1, 0], fmt, ctx)
+        z = x.cross(y)
+        assert z.to_floats() == pytest.approx([0.0, 0.0, 1.0], abs=1e-6)
+
+    def test_add_sub_scale(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        a = FixedVector.from_floats([1, 2, 3], fmt, ctx)
+        b = FixedVector.from_floats([4, 5, 6], fmt, ctx)
+        assert (a + b).to_floats() == pytest.approx([5, 7, 9], abs=1e-5)
+        assert (b - a).to_floats() == pytest.approx([3, 3, 3], abs=1e-5)
+        s = Fixed.from_float(2.0, fmt, ctx)
+        assert a.scale(s).to_floats() == pytest.approx([2, 4, 6], abs=1e-5)
+
+    def test_indexing(self):
+        ctx = FixedPointContext()
+        fmt = QFormat(7, 24)
+        v = FixedVector.from_floats([1, 2], fmt, ctx)
+        v[0] = Fixed.from_float(9.0, fmt, ctx)
+        assert float(v[0]) == pytest.approx(9.0)
+        assert len(v) == 2

@@ -1,0 +1,214 @@
+"""Tests for the simulated measurement chain (GPIO, analyzer, probe, sync)."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation.gpio import GpioBus
+from repro.instrumentation.logic_analyzer import LogicAnalyzer
+from repro.instrumentation.power_monitor import PowerMonitor
+from repro.instrumentation.sync import extract_measurements, summarize, synchronize
+
+
+class TestGpioBus:
+    def test_edges_only_on_change(self):
+        bus = GpioBus()
+        bus.write("roi", True, 0.0)
+        bus.write("roi", True, 1.0)  # no-op
+        bus.write("roi", False, 2.0)
+        assert len(bus.events) == 2
+
+    def test_time_ordering_enforced(self):
+        bus = GpioBus()
+        bus.write("roi", True, 1.0)
+        with pytest.raises(ValueError):
+            bus.write("roi", False, 0.5)
+
+    def test_read_back(self):
+        bus = GpioBus()
+        assert bus.read("trigger") is False
+        bus.write("trigger", True, 0.0)
+        assert bus.read("trigger") is True
+
+    def test_subscribers_notified(self):
+        bus = GpioBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.write("a", True, 0.0)
+        bus.write("b", True, 1.0)
+        assert [e.pin for e in seen] == ["a", "b"]
+
+    def test_events_for_pin(self):
+        bus = GpioBus()
+        bus.write("a", True, 0.0)
+        bus.write("b", True, 1.0)
+        bus.write("a", False, 2.0)
+        assert len(bus.events_for("a")) == 2
+        assert bus.pins() == ["a", "b"]
+
+
+class TestLogicAnalyzer:
+    def test_captures_only_while_running(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        bus.write("roi", True, 0.0)  # before start: dropped
+        la.start()
+        bus.write("roi", False, 1.0)
+        la.stop()
+        bus.write("roi", True, 2.0)  # after stop: dropped
+        assert len(la.edges) == 1
+
+    def test_interval_pairing(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        la.start()
+        for start, end in ((0.0, 1e-3), (2e-3, 2.5e-3)):
+            bus.write("roi", True, start)
+            bus.write("roi", False, end)
+        intervals = la.intervals("roi")
+        assert len(intervals) == 2
+        assert intervals[0].duration_s == pytest.approx(1e-3)
+        assert intervals[1].duration_s == pytest.approx(0.5e-3)
+
+    def test_timestamps_quantized(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus, sample_rate_hz=1e6)
+        la.start()
+        bus.write("roi", True, 1.23456789e-3)
+        edge = la.edges[0]
+        assert edge.time_s == pytest.approx(round(1.23456789e-3 * 1e6) / 1e6)
+
+    def test_first_edge(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        la.start()
+        bus.write("trigger", True, 5e-6)
+        e = la.first_edge("trigger")
+        assert e is not None and e.rising
+        assert la.first_edge("other") is None
+
+    def test_export_rows(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        la.start()
+        bus.write("roi", True, 0.0)
+        rows = la.export()
+        assert rows == [(0.0, "roi", 1)]
+
+
+class TestPowerMonitor:
+    def _captured(self, power_w=0.1, duration_s=2e-3, noise_a=0.0):
+        bus = GpioBus()
+        pm = PowerMonitor(noise_a=noise_a, clock_skew_ppm=0.0)
+        bus.subscribe(pm.on_gpio)
+        pm.arm()
+        bus.write("trigger", True, 0.0)
+        pm.add_segment(1e-4, duration_s, power_w, power_w * 1.2)
+        return pm.capture()
+
+    def test_trigger_starts_acquisition(self):
+        bus = GpioBus()
+        pm = PowerMonitor()
+        bus.subscribe(pm.on_gpio)
+        pm.add_segment(0.0, 1e-3, 0.1, 0.1)  # not armed: dropped
+        assert len(pm.capture()) == 0
+        pm.arm()
+        bus.write("trigger", True, 0.0)
+        pm.add_segment(1e-4, 1e-3, 0.1, 0.1)
+        assert len(pm.capture()) > 0
+
+    def test_sample_rate(self):
+        trace = self._captured(duration_s=10e-3)
+        dts = np.diff(trace.times_s)
+        assert np.allclose(dts, 1.0 / PowerMonitor.SAMPLE_RATE_HZ, rtol=1e-6)
+
+    def test_current_quantized_to_resolution(self):
+        trace = self._captured(noise_a=0.0)
+        lsb = PowerMonitor.CURRENT_RESOLUTION_A
+        remainders = np.abs(trace.current_a / lsb - np.round(trace.current_a / lsb))
+        assert remainders.max() < 1e-6
+
+    def test_mean_power_preserved(self):
+        trace = self._captured(power_w=0.15, duration_s=5e-3)
+        active = trace.power_w[trace.power_w > 0.01]
+        assert active.mean() == pytest.approx(0.15, rel=0.02)
+
+    def test_peak_reached_in_burst(self):
+        trace = self._captured(power_w=0.1, duration_s=5e-3)
+        assert trace.power_w.max() == pytest.approx(0.12, rel=0.05)
+
+    def test_short_segment_energy_preserved(self):
+        """Sub-sample kernels must still integrate to the right energy."""
+        bus = GpioBus()
+        pm = PowerMonitor(noise_a=0.0, clock_skew_ppm=0.0)
+        bus.subscribe(pm.on_gpio)
+        pm.arm()
+        bus.write("trigger", True, 0.0)
+        pm.add_segment(1e-4, 2e-6, 0.1, 0.1)  # 2 us << 10 us sample period
+        trace = pm.capture()
+        dt = 1.0 / PowerMonitor.SAMPLE_RATE_HZ
+        assert float(trace.power_w.sum() * dt) == pytest.approx(0.1 * 2e-6, rel=0.05)
+
+
+class TestSyncPipeline:
+    def _setup_run(self, latencies_s, power_w=0.12, gap_s=5e-4, noise_a=2e-6,
+                   skew_ppm=40.0):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        pm = PowerMonitor(noise_a=noise_a, clock_skew_ppm=skew_ppm)
+        bus.subscribe(pm.on_gpio)
+        la.start()
+        pm.arm()
+        t = 0.0
+        bus.write("trigger", True, t)
+        t += 1e-5
+        bus.write("trigger", False, t)
+        for lat in latencies_s:
+            bus.write("roi", True, t)
+            pm.add_segment(t, lat, power_w, power_w * 1.15)
+            t += lat
+            bus.write("roi", False, t)
+            pm.add_segment(t, gap_s, 0.012)
+            t += gap_s
+        return la, pm.capture()
+
+    def test_measurement_extraction(self):
+        latencies = [1.2e-3, 1.2e-3, 1.2e-3]
+        la, trace = self._setup_run(latencies)
+        capture = synchronize(la, trace)
+        measurements = extract_measurements(capture)
+        assert len(measurements) == 3
+        for m, expected in zip(measurements, latencies):
+            assert m.latency_s == pytest.approx(expected, rel=1e-3)
+            assert m.avg_power_w == pytest.approx(0.12, rel=0.05)
+            assert m.energy_j == pytest.approx(0.12 * expected, rel=0.05)
+            assert 0.12 <= m.peak_power_w <= 0.15
+
+    def test_summary_aggregation(self):
+        la, trace = self._setup_run([1e-3, 2e-3])
+        capture = synchronize(la, trace)
+        summary = summarize(extract_measurements(capture))
+        assert summary.latency_s == pytest.approx(1.5e-3, rel=1e-3)
+
+    def test_sync_without_trigger_raises(self):
+        bus = GpioBus()
+        la = LogicAnalyzer(bus)
+        la.start()
+        bus.write("roi", True, 0.0)
+        with pytest.raises(ValueError, match="no trigger edge"):
+            synchronize(la, None)
+
+    def test_known_skew_correction_improves_alignment(self):
+        la, trace = self._setup_run([2e-3] * 2, skew_ppm=5000.0)
+        raw = extract_measurements(synchronize(la, trace))
+        corrected = extract_measurements(
+            synchronize(la, trace, monitor_skew_ppm=5000.0)
+        )
+        # Energy recovered with correction should be at least as accurate.
+        expected = 0.12 * 2e-3
+        err_raw = abs(raw[0].energy_j - expected)
+        err_fixed = abs(corrected[0].energy_j - expected)
+        assert err_fixed <= err_raw + 1e-9
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

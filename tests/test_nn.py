@@ -1,0 +1,167 @@
+"""Tests for the TinyML inference engine and the proximity kernel."""
+
+import numpy as np
+import pytest
+
+from repro.mcu.arch import M0PLUS, M4, M33
+from repro.mcu.ops import OpCounter
+from repro.nn.depthnet import (
+    INPUT_SHAPE,
+    build_proximity_net,
+    clear_scene,
+    looming_scene,
+    proximity_score,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    GlobalAveragePool,
+    MaxPool2D,
+    Network,
+    QuantParams,
+    ReLU,
+)
+
+
+class TestLayers:
+    def test_conv2d_identity_kernel(self):
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        conv = Conv2D(w, padding="same")
+        x = np.random.default_rng(0).normal(size=(1, 8, 8))
+        out = conv.forward(OpCounter(), x)
+        assert np.allclose(out, x)
+
+    def test_conv2d_matches_direct_convolution(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(2, 3, 3, 3))
+        x = rng.normal(size=(3, 10, 10))
+        out = Conv2D(w, padding="same").forward(OpCounter(), x)
+        # Check one output element by hand.
+        xp = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        expected = sum(
+            w[0, ci, dy, dx] * xp[ci, 4 + dy, 5 + dx]
+            for ci in range(3) for dy in range(3) for dx in range(3)
+        )
+        assert out[0, 4, 5] == pytest.approx(expected)
+
+    def test_conv2d_channel_mismatch(self):
+        conv = Conv2D(np.zeros((1, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            conv.forward(OpCounter(), np.zeros((3, 8, 8)))
+
+    def test_relu(self):
+        out = ReLU().forward(OpCounter(), np.array([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4)
+        out = MaxPool2D(2).forward(OpCounter(), x)
+        assert out[0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_global_average_pool(self):
+        x = np.ones((3, 4, 4)) * np.array([1.0, 2.0, 3.0])[:, None, None]
+        out = GlobalAveragePool().forward(OpCounter(), x)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_dense(self):
+        d = Dense(np.array([[1.0, 2.0]]), np.array([0.5]))
+        assert d.forward(OpCounter(), np.array([3.0, 4.0]))[0] == pytest.approx(11.5)
+
+    def test_dense_size_mismatch(self):
+        d = Dense(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            d.forward(OpCounter(), np.zeros(3))
+
+    def test_conv_cost_scales_with_kernel_size(self):
+        x = np.zeros((1, 16, 16))
+        c3, c5 = OpCounter(), OpCounter()
+        Conv2D(np.zeros((1, 1, 3, 3))).forward(c3, x)
+        Conv2D(np.zeros((1, 1, 5, 5))).forward(c5, x)
+        assert c5.trace.ffma > 2 * c3.trace.ffma
+
+    def test_output_shapes(self):
+        net = build_proximity_net()
+        shape = INPUT_SHAPE
+        for layer in net.layers:
+            shape = layer.output_shape(shape)
+        assert shape == (1,)
+
+
+class TestQuantization:
+    def test_quantize_roundtrip_within_scale(self):
+        q = QuantParams.from_range(-2.0, 2.0)
+        x = np.linspace(-2.0, 2.0, 50)
+        back = q.dequantize(q.quantize(x))
+        assert np.abs(back - x).max() <= q.scale
+
+    def test_int8_inference_close_to_float(self):
+        net = build_proximity_net()
+        frame = looming_scene(seed=0)
+        x = frame.astype(np.float64)[None] / 255.0
+        f = net.forward(OpCounter(), x)
+        q = net.forward_int8(OpCounter(), x)
+        assert q[0] == pytest.approx(f[0], abs=0.05)
+
+    def test_int8_preserves_discrimination(self):
+        net = build_proximity_net()
+        near = looming_scene(seed=1).astype(np.float64)[None] / 255.0
+        far = clear_scene(seed=1).astype(np.float64)[None] / 255.0
+        qn = net.forward_int8(OpCounter(), near)
+        qf = net.forward_int8(OpCounter(), far)
+        assert qn[0] > qf[0]
+
+    def test_int8_footprint_quarter_of_float(self):
+        net = build_proximity_net()
+        f32 = net.footprint_bytes(INPUT_SHAPE, int8=False)
+        i8 = net.footprint_bytes(INPUT_SHAPE, int8=True)
+        assert i8 < 0.3 * f32
+
+
+class TestProximityKernel:
+    def test_scores_separate_scenes(self):
+        near = [proximity_score(OpCounter(), looming_scene(seed=s)) for s in range(5)]
+        far = [proximity_score(OpCounter(), clear_scene(seed=s)) for s in range(5)]
+        assert min(near) > max(far)
+
+    def test_registered_and_validates(self):
+        from repro.core import registry
+        from repro.core.config import HarnessConfig
+        from repro.core.harness import Harness
+        from repro.mcu.cache import CACHE_ON
+
+        p = registry.create("proximity-net")
+        r = Harness(M33, HarnessConfig(reps=1, warmup_reps=0)).run(p, CACHE_ON)
+        assert r.fits and r.all_valid
+
+    def test_fits_m4_not_m0plus(self):
+        """Int8 activations fit the M4's 128 KB; the M0+'s 36 KB is out."""
+        from repro.core import registry
+        from repro.mcu.memory import check_fit
+
+        p = registry.create("proximity-net")
+        p.ensure_setup()
+        assert check_fit(p.footprint(), M4).fits
+        assert not check_fit(p.footprint(), M0PLUS).fits
+
+    def test_cnn_is_heavyweight(self):
+        """CNN inference dwarfs the classical perception kernels — the
+        reason the paper's suite does not yet ship one."""
+        from repro.datasets import images
+        from repro.perception.fast import fast_detect
+
+        c_nn, c_fast = OpCounter(), OpCounter()
+        proximity_score(c_nn, looming_scene())
+        fast_detect(c_fast, images.load("midd", shape=(80, 80)))
+        assert c_nn.trace.total > 3 * c_fast.trace.total
+
+    def test_flop_estimate_underpredicts(self):
+        """Case Study 3 extends to CNNs: MAC tallies miss the memory and
+        bookkeeping cost of real inference loops."""
+        from repro.core import registry
+
+        p = registry.create("proximity-net")
+        p.ensure_setup()
+        c = OpCounter()
+        p.solve(c)
+        assert c.trace.total > p.flop_estimate()

@@ -1,0 +1,177 @@
+"""Tests for the operation-trace substrate (repro.mcu.ops)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mcu.ops import ALL_KINDS, OpCounter, OpTrace, delta
+
+
+def test_empty_trace_is_zero():
+    t = OpTrace()
+    assert t.total == 0
+    assert t.n_float == 0
+    assert t.n_int == 0
+    assert t.n_mem == 0
+    assert t.n_branch == 0
+
+
+def test_category_sums():
+    t = OpTrace(fadd=3, fmul=2, ialu=5, load=7, store=1, br_taken=4, call=1)
+    assert t.n_float == 5
+    assert t.n_int == 5
+    assert t.n_mem == 8
+    assert t.n_branch == 5
+    assert t.total == 23
+
+
+def test_mix_matches_categories():
+    t = OpTrace(fdiv=2, imul=3, load=4, br_not=5)
+    mix = t.mix()
+    assert mix == {"F": 2, "I": 3, "M": 4, "B": 5}
+
+
+def test_addition_is_fieldwise():
+    a = OpTrace(fadd=1, load=2)
+    b = OpTrace(fadd=3, store=4)
+    c = a + b
+    assert c.fadd == 4
+    assert c.load == 2
+    assert c.store == 4
+    # operands untouched
+    assert a.fadd == 1 and b.fadd == 3
+
+
+def test_inplace_addition():
+    a = OpTrace(fmul=2)
+    a += OpTrace(fmul=5, idiv=1)
+    assert a.fmul == 7
+    assert a.idiv == 1
+
+
+def test_scaled_rounds_counts():
+    t = OpTrace(fadd=10, load=3)
+    half = t.scaled(0.5)
+    assert half.fadd == 5
+    assert half.load == 2  # round(1.5) banker's rounds to 2
+
+
+def test_copy_is_independent():
+    t = OpTrace(fadd=1)
+    c = t.copy()
+    c.fadd = 99
+    assert t.fadd == 1
+
+
+def test_delta():
+    before = OpTrace(fadd=2, load=5)
+    after = OpTrace(fadd=7, load=5, store=3)
+    d = delta(before, after)
+    assert d.fadd == 5
+    assert d.load == 0
+    assert d.store == 3
+
+
+@given(
+    st.lists(st.sampled_from(ALL_KINDS), min_size=0, max_size=60),
+)
+def test_counter_raw_increments_sum_to_total(kinds):
+    c = OpCounter()
+    for kind in kinds:
+        if kind in ("br_taken", "br_not"):
+            c.branch(taken=(kind == "br_taken"))
+        else:
+            getattr(c, kind)()
+    assert c.trace.total == len(kinds)
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_vec_dot_scales_linearly(n):
+    c = OpCounter()
+    c.vec_dot(n)
+    assert c.trace.ffma == n
+    assert c.trace.load == 2 * n
+
+
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=40))
+def test_mat_vec_counts(m, n):
+    c = OpCounter()
+    c.mat_vec(m, n)
+    assert c.trace.ffma == m * n
+    assert c.trace.store == m
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=12),
+)
+def test_mat_mat_counts(m, k, n):
+    c = OpCounter()
+    c.mat_mat(m, k, n)
+    assert c.trace.ffma == m * k * n
+    assert c.trace.store == m * n
+
+
+def test_quat_mul_recipe():
+    c = OpCounter()
+    c.quat_mul()
+    assert c.trace.fmul == 16
+    assert c.trace.fadd == 12
+
+
+def test_flop_mix_memory_proportional():
+    c = OpCounter()
+    c.flop_mix(add=8, mul=8, div=2, sqrt=2)
+    assert c.trace.load == 20
+    assert c.trace.store == 5
+
+
+def test_loop_overhead_zero_iterations():
+    c = OpCounter()
+    c.loop_overhead(0)
+    assert c.trace.total == 0
+
+
+def test_loop_overhead_branches():
+    c = OpCounter()
+    c.loop_overhead(10)
+    assert c.trace.br_taken == 9
+    assert c.trace.br_not == 1
+
+
+def test_snapshot_is_copy():
+    c = OpCounter()
+    c.fadd(3)
+    snap = c.snapshot()
+    c.fadd(2)
+    assert snap.fadd == 3
+    assert c.trace.fadd == 5
+
+
+def test_reset():
+    c = OpCounter()
+    c.fmul(10)
+    c.reset()
+    assert c.trace.total == 0
+
+
+def test_absorb():
+    c = OpCounter()
+    c.absorb(OpTrace(fadd=4, br_taken=1))
+    assert c.trace.fadd == 4
+    assert c.trace.br_taken == 1
+
+
+def test_vec_normalize_includes_sqrt_and_div():
+    c = OpCounter()
+    c.vec_normalize(3)
+    assert c.trace.fsqrt == 1
+    assert c.trace.fdiv == 1
+
+
+@given(st.floats(min_value=0.0, max_value=4.0))
+def test_scaled_never_negative(factor):
+    t = OpTrace(fadd=7, load=3, br_taken=2)
+    s = t.scaled(factor)
+    assert s.fadd >= 0 and s.load >= 0 and s.br_taken >= 0

@@ -1,0 +1,144 @@
+"""Tests for the cycle model (repro.mcu.pipeline) and arch descriptors."""
+
+import pytest
+
+from repro.mcu.arch import ARCHS, M0PLUS, M33, M4, M7, get_arch
+from repro.mcu.cache import CACHE_OFF, CACHE_ON
+from repro.mcu.ops import OpCounter, OpTrace
+from repro.mcu.pipeline import PipelineModel
+from repro.scalar import F32, F64, q
+
+
+def _float_trace(n=1000):
+    return OpTrace(fadd=n, fmul=n, fdiv=n // 10, fsqrt=n // 20,
+                   load=2 * n, store=n // 2, ialu=n, br_taken=n // 8)
+
+
+class TestArch:
+    def test_lookup_by_name(self):
+        assert get_arch("m4") is M4
+        assert get_arch("M7") is M7
+
+    def test_unknown_arch_raises(self):
+        with pytest.raises(KeyError):
+            get_arch("m55")
+
+    def test_four_archs_registered(self):
+        assert set(ARCHS) == {"m0plus", "m4", "m33", "m7"}
+
+    def test_m0plus_has_no_fpu(self):
+        assert not M0PLUS.fpu.single and not M0PLUS.fpu.double
+
+    def test_m7_has_double_fpu_and_caches(self):
+        assert M7.fpu.double
+        assert M7.cache.has_icache and M7.cache.has_dcache
+
+    def test_m33_is_modern_node(self):
+        assert M33.process_node_nm < M4.process_node_nm
+
+    def test_m7_fastest_clock(self):
+        assert M7.clock_hz > M4.clock_hz > M0PLUS.clock_hz
+
+
+class TestComputeCycles:
+    def test_soft_float_cliff_on_m0plus(self):
+        """No FPU: float work costs tens of cycles per op (Case Study 2)."""
+        t = _float_trace()
+        m0 = PipelineModel(M0PLUS).compute_cycles(t, F32)
+        m4 = PipelineModel(M4).compute_cycles(t, F32)
+        assert m0 > 10 * m4
+
+    def test_double_precision_penalty_on_m4(self):
+        """SP-only FPU: doubles are software (Case Study 4)."""
+        t = _float_trace()
+        pm = PipelineModel(M4)
+        assert pm.compute_cycles(t, F64) > 5 * pm.compute_cycles(t, F32)
+
+    def test_double_cheap_on_m7(self):
+        """The M7's DP FPU makes doubles only mildly slower."""
+        t = _float_trace()
+        pm = PipelineModel(M7)
+        assert pm.compute_cycles(t, F64) < 2.5 * pm.compute_cycles(t, F32)
+
+    def test_fixed_point_slower_than_hw_float(self):
+        """Fixed point pays the shift-back tax on FPU cores (paper S6.B)."""
+        t = _float_trace()
+        pm = PipelineModel(M4)
+        assert pm.compute_cycles(t, q(7, 24)) > pm.compute_cycles(t, F32)
+
+    def test_fixed_point_faster_than_soft_float_on_m0plus(self):
+        t = _float_trace()
+        pm = PipelineModel(M0PLUS)
+        assert pm.compute_cycles(t, q(7, 24)) < pm.compute_cycles(t, F32)
+
+    def test_superscalar_overlap_on_m7(self):
+        """Int/mem-heavy code benefits from dual issue."""
+        t = OpTrace(ialu=10000, load=10000, store=5000)
+        m7 = PipelineModel(M7).compute_cycles(t, F32)
+        m4 = PipelineModel(M4).compute_cycles(t, F32)
+        assert m7 < m4
+
+    def test_branch_cost_without_predictor(self):
+        t = OpTrace(br_taken=1000)
+        m4 = PipelineModel(M4).compute_cycles(t, F32)
+        m7 = PipelineModel(M7).compute_cycles(t, F32)
+        assert m7 < m4  # branch prediction pays off
+
+    def test_empty_trace_costs_nothing(self):
+        assert PipelineModel(M4).compute_cycles(OpTrace(), F32) == 0.0
+
+    def test_idiv_expensive_without_hw_divider(self):
+        t = OpTrace(idiv=100)
+        m0 = PipelineModel(M0PLUS).compute_cycles(t, F32)
+        m4 = PipelineModel(M4).compute_cycles(t, F32)
+        assert m0 > 5 * m4
+
+    def test_cycles_monotone_in_ops(self):
+        pm = PipelineModel(M4)
+        small = pm.compute_cycles(OpTrace(fadd=10), F32)
+        big = pm.compute_cycles(OpTrace(fadd=1000), F32)
+        assert big > small
+
+
+class TestTotalCycles:
+    def test_cache_off_slower_on_m7(self):
+        t = _float_trace(5000)
+        pm = PipelineModel(M7)
+        on = pm.cycles(t, F32, CACHE_ON, code_bytes=20000, data_bytes=30000)
+        off = pm.cycles(t, F32, CACHE_OFF, code_bytes=20000, data_bytes=30000)
+        assert off.total > 1.5 * on.total
+
+    def test_cache_barely_matters_on_m4(self):
+        """The M4's flash accelerator makes C/NC near identical (Table IV)."""
+        t = _float_trace(5000)
+        pm = PipelineModel(M4)
+        on = pm.cycles(t, F32, CACHE_ON, code_bytes=20000, data_bytes=30000)
+        off = pm.cycles(t, F32, CACHE_OFF, code_bytes=20000, data_bytes=30000)
+        assert off.total < 1.35 * on.total
+
+    def test_breakdown_components_nonnegative(self):
+        t = _float_trace(100)
+        bd = PipelineModel(M33).cycles(t, F32, CACHE_ON, 5000, 1000)
+        assert bd.compute_cycles >= 0
+        assert bd.ifetch_stall_cycles >= 0
+        assert bd.dmem_stall_cycles >= 0
+        assert bd.total == pytest.approx(
+            bd.compute_cycles + bd.ifetch_stall_cycles + bd.dmem_stall_cycles
+        )
+
+    def test_latency_uses_clock(self):
+        t = _float_trace(100)
+        pm = PipelineModel(M4)
+        bd = pm.cycles(t, F32, CACHE_ON, 5000, 1000)
+        assert pm.latency_s(bd) == pytest.approx(bd.total / M4.clock_hz)
+
+    def test_m7_with_cache_fastest_wall_clock(self):
+        """Table IV: the M7 (cached) posts the lowest latencies."""
+        t = _float_trace(5000)
+        lat = {}
+        for arch in (M4, M33, M7):
+            pm = PipelineModel(arch)
+            bd = pm.cycles(t, F32, CACHE_ON, 10000, 8000)
+            lat[arch.name] = pm.latency_s(bd)
+        assert lat["m7"] < lat["m4"]
+        assert lat["m7"] < lat["m33"]

@@ -1,0 +1,283 @@
+"""Tests for the geometric pose solvers (absolute, relative, upright, 5pt)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pose import (
+    make_absolute_problem,
+    make_homography_problem,
+    make_relative_problem,
+    rotation_angle_deg,
+    translation_direction_error_deg,
+)
+from repro.mcu.ops import OpCounter
+from repro.pose.absolute import (
+    absolute_gold_standard,
+    dlt,
+    p3p,
+    solve_best_absolute,
+    up2p,
+)
+from repro.pose.fivept import five_point, five_point_essentials
+from repro.pose.geometry import (
+    cheirality_count,
+    decompose_essential,
+    essential_from_pose,
+    homogeneous,
+    orthonormalize,
+    reprojection_error,
+    sampson_error,
+    skew,
+    triangulate_point,
+)
+from repro.pose.relative import (
+    eight_point,
+    eight_point_essential,
+    homography_dlt,
+    homography_transfer_error,
+    relative_gold_standard,
+)
+from repro.pose.upright import u3pt, up2pt, up3pt
+
+SEEDS = range(8)
+
+
+class TestGeometryUtils:
+    def test_skew_antisymmetric(self):
+        s = skew(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(s, -s.T)
+
+    def test_homogeneous(self):
+        h = homogeneous(np.array([[1.0, 2.0]]))
+        assert h.tolist() == [[1.0, 2.0, 1.0]]
+
+    def test_triangulation_recovers_point(self):
+        prob = make_relative_problem(n_points=5, noise_px=0.0, seed=0)
+        c = OpCounter()
+        x1h = homogeneous(prob.x1[:1])[0]
+        x2h = homogeneous(prob.x2[:1])[0]
+        p = triangulate_point(c, x1h, x2h, prob.r_true, prob.t_true)
+        # Reproject: should match observation.
+        assert p[:2] / p[2] == pytest.approx(prob.x1[0], abs=1e-9)
+
+    def test_cheirality_prefers_true_pose(self):
+        prob = make_relative_problem(n_points=6, noise_px=0.0, seed=1)
+        c = OpCounter()
+        good = cheirality_count(c, prob.x1, prob.x2, prob.r_true, prob.t_true)
+        bad = cheirality_count(c, prob.x1, prob.x2, prob.r_true, -prob.t_true)
+        assert good == 3
+        assert bad < good
+
+    def test_decompose_essential_roundtrip(self):
+        prob = make_relative_problem(n_points=8, noise_px=0.0, seed=2)
+        c = OpCounter()
+        e = essential_from_pose(prob.r_true, prob.t_true)
+        pose = decompose_essential(c, e, prob.x1, prob.x2)
+        assert pose is not None
+        assert rotation_angle_deg(pose[0], prob.r_true) < 0.01
+        assert translation_direction_error_deg(pose[1], prob.t_true) < 0.1
+
+    def test_sampson_error_zero_for_inliers(self):
+        prob = make_relative_problem(n_points=10, noise_px=0.0, seed=3)
+        c = OpCounter()
+        err = sampson_error(c, prob.essential_true(), prob.x1, prob.x2)
+        assert err.max() < 1e-16
+
+    def test_reprojection_error_flags_behind_camera(self):
+        c = OpCounter()
+        world = np.array([[0.0, 0.0, -5.0]])
+        err = reprojection_error(c, np.eye(3), np.zeros(3), world,
+                                 np.array([[0.0, 0.0]]))
+        assert np.isinf(err[0])
+
+    def test_orthonormalize_projects_to_so3(self):
+        c = OpCounter()
+        noisy = np.eye(3) + 0.05 * np.random.default_rng(0).normal(size=(3, 3))
+        r = orthonormalize(c, noisy)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestAbsoluteSolvers:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_p3p_exact(self, seed):
+        prob = make_absolute_problem(n_points=8, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        pose = solve_best_absolute(c, p3p, prob.points_world[:3],
+                                   prob.points_image[:3],
+                                   prob.points_world, prob.points_image)
+        assert pose is not None
+        assert rotation_angle_deg(pose[0], prob.r_true) < 0.1
+        assert np.linalg.norm(pose[1] - prob.t_true) < 0.01
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_up2p_exact(self, seed):
+        prob = make_absolute_problem(n_points=6, noise_px=0.0, upright=True,
+                                     seed=seed)
+        c = OpCounter()
+        pose = solve_best_absolute(c, up2p, prob.points_world[:2],
+                                   prob.points_image[:2],
+                                   prob.points_world, prob.points_image)
+        assert pose is not None
+        assert rotation_angle_deg(pose[0], prob.r_true) < 0.1
+
+    def test_up2p_returns_yaw_rotations(self):
+        prob = make_absolute_problem(n_points=4, noise_px=0.0, upright=True, seed=1)
+        c = OpCounter()
+        for r, _ in up2p(c, prob.points_world[:2], prob.points_image[:2]):
+            assert np.allclose(r @ [0, 1, 0], [0, 1, 0], atol=1e-9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dlt_exact(self, seed):
+        prob = make_absolute_problem(n_points=10, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        poses = dlt(c, prob.points_world, prob.points_image)
+        assert poses
+        assert rotation_angle_deg(poses[0][0], prob.r_true) < 0.1
+
+    def test_dlt_needs_six_points(self):
+        prob = make_absolute_problem(n_points=5, seed=0)
+        with pytest.raises(ValueError):
+            dlt(OpCounter(), prob.points_world, prob.points_image)
+
+    def test_gold_standard_beats_dlt_under_noise(self):
+        errors_dlt, errors_gold = [], []
+        for seed in range(10):
+            prob = make_absolute_problem(n_points=14, noise_px=1.0, seed=seed)
+            c = OpCounter()
+            d = dlt(c, prob.points_world, prob.points_image)
+            g = absolute_gold_standard(c, prob.points_world, prob.points_image)
+            errors_dlt.append(rotation_angle_deg(d[0][0], prob.r_true))
+            errors_gold.append(rotation_angle_deg(g[0][0], prob.r_true))
+        assert np.median(errors_gold) <= np.median(errors_dlt)
+
+    def test_p3p_wrong_input_size(self):
+        with pytest.raises(ValueError):
+            p3p(OpCounter(), np.zeros((4, 3)), np.zeros((4, 2)))
+
+
+class TestRelativeSolvers:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eight_point_exact(self, seed):
+        prob = make_relative_problem(n_points=12, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        poses = eight_point(c, prob.x1, prob.x2)
+        assert poses
+        assert rotation_angle_deg(poses[0][0], prob.r_true) < 0.1
+        assert translation_direction_error_deg(poses[0][1], prob.t_true) < 0.5
+
+    def test_eight_point_needs_eight(self):
+        with pytest.raises(ValueError):
+            eight_point_essential(OpCounter(), np.zeros((7, 2)), np.zeros((7, 2)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_five_point_exact(self, seed):
+        prob = make_relative_problem(n_points=10, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        poses = five_point(c, prob.x1[:5], prob.x2[:5],
+                           validate_with=(prob.x1, prob.x2))
+        best = min((rotation_angle_deg(p[0], prob.r_true) for p in poses),
+                   default=np.inf)
+        assert best < 0.1
+
+    def test_five_point_returns_multiple_candidates(self):
+        """Up to 10 solutions, all of which must be validated (paper)."""
+        prob = make_relative_problem(n_points=5, noise_px=0.0, seed=3)
+        c = OpCounter()
+        essentials = five_point_essentials(c, prob.x1, prob.x2)
+        assert 1 <= len(essentials) <= 10
+
+    def test_five_point_essentials_satisfy_constraints(self):
+        prob = make_relative_problem(n_points=5, noise_px=0.0, seed=4)
+        c = OpCounter()
+        for e in five_point_essentials(c, prob.x1, prob.x2):
+            assert abs(np.linalg.det(e)) < 1e-6
+            trace_c = 2 * e @ e.T @ e - np.trace(e @ e.T) * e
+            assert np.abs(trace_c).max() < 1e-6
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_relative_gold_standard(self, seed):
+        prob = make_relative_problem(n_points=12, noise_px=0.3, seed=seed)
+        c = OpCounter()
+        poses = relative_gold_standard(c, prob.x1, prob.x2)
+        assert poses
+        assert rotation_angle_deg(poses[0][0], prob.r_true) < 2.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_homography_dlt(self, seed):
+        prob = make_homography_problem(n_points=10, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        h = homography_dlt(c, prob.x1, prob.x2)
+        assert h is not None
+        assert np.allclose(h / h[2, 2], prob.h_true, atol=1e-6)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_homography_minimal_four_points(self, seed):
+        prob = make_homography_problem(n_points=4, noise_px=0.0, seed=seed)
+        c = OpCounter()
+        h = homography_dlt(c, prob.x1, prob.x2)
+        err = homography_transfer_error(c, h, prob.x1, prob.x2)
+        assert err.max() < 1e-12
+
+    def test_minimal_homography_cheaper_than_dlt(self):
+        p4 = make_homography_problem(n_points=4, noise_px=0.0, seed=0)
+        p10 = make_homography_problem(n_points=10, noise_px=0.0, seed=0)
+        c4, c10 = OpCounter(), OpCounter()
+        homography_dlt(c4, p4.x1, p4.x2)
+        homography_dlt(c10, p10.x1, p10.x2)
+        assert c4.trace.total < c10.trace.total / 3
+
+
+class TestUprightSolvers:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_u3pt(self, seed):
+        prob = make_relative_problem(n_points=8, noise_px=0.0, upright=True,
+                                     seed=seed)
+        c = OpCounter()
+        poses = u3pt(c, prob.x1[:3], prob.x2[:3])
+        best = min((rotation_angle_deg(p[0], prob.r_true) for p in poses),
+                   default=np.inf)
+        assert best < 0.1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_up2pt(self, seed):
+        prob = make_relative_problem(n_points=8, noise_px=0.0, upright=True,
+                                     planar=True, seed=seed)
+        c = OpCounter()
+        poses = up2pt(c, prob.x1[:2], prob.x2[:2])
+        best = min((rotation_angle_deg(p[0], prob.r_true) for p in poses),
+                   default=np.inf)
+        assert best < 0.1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_up3pt(self, seed):
+        prob = make_relative_problem(n_points=8, noise_px=0.0, upright=True,
+                                     planar=True, seed=seed)
+        c = OpCounter()
+        poses = up3pt(c, prob.x1, prob.x2)
+        assert poses
+        assert rotation_angle_deg(poses[0][0], prob.r_true) < 0.1
+
+    def test_up2pt_translation_planar(self):
+        prob = make_relative_problem(n_points=4, noise_px=0.0, upright=True,
+                                     planar=True, seed=1)
+        c = OpCounter()
+        for _, t in up2pt(c, prob.x1[:2], prob.x2[:2]):
+            assert t[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_upright_solvers_cheaper_than_5pt(self):
+        """Case Study 4: structural priors slash solver cost."""
+        prob_u = make_relative_problem(n_points=8, noise_px=0.0, upright=True, seed=0)
+        prob_5 = make_relative_problem(n_points=8, noise_px=0.0, seed=0)
+        c_u, c_5 = OpCounter(), OpCounter()
+        u3pt(c_u, prob_u.x1[:3], prob_u.x2[:3])
+        five_point(c_5, prob_5.x1[:5], prob_5.x2[:5])
+        assert c_5.trace.total > 5 * c_u.trace.total
+
+    def test_wrong_sample_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            u3pt(OpCounter(), np.zeros((4, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            up2pt(OpCounter(), np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            up3pt(OpCounter(), np.zeros((2, 2)), np.zeros((2, 2)))

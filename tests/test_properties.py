@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests (hypothesis) on framework invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import si_format
+from repro.fixedpoint.qformat import Fixed, FixedPointContext, QFormat
+from repro.mcu.arch import M0PLUS, M4, M33, M7
+from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheModel
+from repro.mcu.energy import EnergyModel
+from repro.mcu.ops import OpTrace
+from repro.mcu.pipeline import CycleBreakdown, PipelineModel
+from repro.scalar import F32, F64, q
+
+ARCHS = (M0PLUS, M4, M33, M7)
+
+trace_strategy = st.builds(
+    OpTrace,
+    fadd=st.integers(0, 5000),
+    fmul=st.integers(0, 5000),
+    fdiv=st.integers(0, 500),
+    fsqrt=st.integers(0, 200),
+    ffma=st.integers(0, 5000),
+    ffunc=st.integers(0, 100),
+    ialu=st.integers(0, 5000),
+    idiv=st.integers(0, 200),
+    load=st.integers(0, 8000),
+    store=st.integers(0, 4000),
+    br_taken=st.integers(0, 1000),
+    br_not=st.integers(0, 1000),
+)
+
+
+class TestPipelineProperties:
+    @given(trace_strategy, trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_compute_cycles_additive(self, a, b):
+        """Pricing is linear: cycles(a + b) == cycles(a) + cycles(b)."""
+        for arch in (M4, M7):
+            pm = PipelineModel(arch)
+            combined = pm.compute_cycles(a + b, F32)
+            separate = pm.compute_cycles(a, F32) + pm.compute_cycles(b, F32)
+            assert combined == pytest.approx(separate, rel=1e-9)
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_nonnegative_all_precisions(self, trace):
+        for arch in ARCHS:
+            pm = PipelineModel(arch)
+            for scalar in (F32, F64, q(7, 24)):
+                assert pm.compute_cycles(trace, scalar) >= 0
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_soft_float_never_cheaper(self, trace):
+        """M0+ (no FPU) never beats the M4 on float-bearing traces at
+        equal per-op accounting (before clock scaling)."""
+        m0 = PipelineModel(M0PLUS).compute_cycles(trace, F32)
+        m4 = PipelineModel(M4).compute_cycles(trace, F32)
+        assert m0 >= m4 * 0.99
+
+    @given(trace_strategy, st.integers(1000, 10**6), st.integers(100, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_cache_off_never_faster(self, trace, code, data):
+        for arch in (M33, M7):
+            pm = PipelineModel(arch)
+            on = pm.cycles(trace, F32, CACHE_ON, code, data).total
+            off = pm.cycles(trace, F32, CACHE_OFF, code, data).total
+            assert off >= on * 0.999
+
+
+class TestCacheProperties:
+    @given(st.integers(1, 10**7), st.integers(1, 10**7))
+    @settings(max_examples=50, deadline=None)
+    def test_hit_rate_antitone_in_footprint(self, a, b):
+        small, big = min(a, b), max(a, b)
+        cm = CacheModel(M7, CACHE_ON)
+        assert cm.dmem_hit_rate(small) >= cm.dmem_hit_rate(big)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_stalls_monotone(self, n1, n2):
+        small, big = min(n1, n2), max(n1, n2)
+        cm = CacheModel(M33, CACHE_OFF)
+        assert cm.dmem_stalls(small, 10000) <= cm.dmem_stalls(big, 10000)
+
+
+class TestEnergyProperties:
+    @given(trace_strategy, st.floats(1.0, 1e7), st.floats(0.0, 1e7),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_consistency(self, trace, compute, stalls, activity):
+        for arch in ARCHS:
+            em = EnergyModel(arch)
+            bd = CycleBreakdown(compute, stalls / 2, stalls / 2)
+            report = em.report(trace, bd, activity)
+            assert report.energy_j == pytest.approx(
+                report.avg_power_w * report.latency_s
+            )
+            assert report.peak_power_w >= report.avg_power_w > 0
+
+    @given(trace_strategy, st.floats(1.0, 1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_stalls_never_raise_power(self, trace, compute):
+        em = EnergyModel(M7)
+        busy = em.average_power_w(trace, CycleBreakdown(compute, 0, 0), 0.5)
+        stalled = em.average_power_w(
+            trace, CycleBreakdown(compute, compute, compute), 0.5
+        )
+        assert stalled <= busy
+
+
+class TestFixedPointProperties:
+    FMT = QFormat(7, 24)
+
+    def _fx(self, value, ctx):
+        return Fixed.from_float(value, self.FMT, ctx)
+
+    @given(st.floats(-60, 60), st.floats(-60, 60))
+    @settings(max_examples=60)
+    def test_addition_commutes(self, a, b):
+        ctx = FixedPointContext()
+        lhs = self._fx(a, ctx) + self._fx(b, ctx)
+        rhs = self._fx(b, ctx) + self._fx(a, ctx)
+        assert lhs.raw == rhs.raw
+
+    @given(st.floats(-10, 10), st.floats(-10, 10))
+    @settings(max_examples=60)
+    def test_multiplication_commutes(self, a, b):
+        ctx = FixedPointContext()
+        lhs = self._fx(a, ctx) * self._fx(b, ctx)
+        rhs = self._fx(b, ctx) * self._fx(a, ctx)
+        assert lhs.raw == rhs.raw
+
+    @given(st.floats(-100, 100))
+    @settings(max_examples=60)
+    def test_roundtrip_within_resolution(self, x):
+        ctx = FixedPointContext()
+        v = self._fx(x, ctx)
+        if not ctx.failed:
+            assert abs(float(v) - x) <= self.FMT.resolution
+
+    @given(st.floats(-50, 50))
+    @settings(max_examples=60)
+    def test_negation_involutive(self, x):
+        ctx = FixedPointContext()
+        v = self._fx(x, ctx)
+        assert (-(-v)).raw == v.raw
+
+    @given(st.integers(1, 30), st.floats(0.0, 1e6))
+    @settings(max_examples=60)
+    def test_saturation_never_exceeds_format(self, int_bits, x):
+        fmt = QFormat(int_bits, 31 - int_bits)
+        ctx = FixedPointContext()
+        v = Fixed.from_float(x, fmt, ctx)
+        assert fmt.min_raw <= v.raw <= fmt.max_raw
+
+
+class TestFormatting:
+    @given(st.floats(0.0, 1e9))
+    @settings(max_examples=60)
+    def test_si_format_total(self, x):
+        text = si_format(x)
+        assert isinstance(text, str) and len(text) <= 8
+
+    def test_si_format_bands(self):
+        assert si_format(1_500_000).endswith("M")
+        assert si_format(1_500).endswith("K")
+        assert "K" not in si_format(999)

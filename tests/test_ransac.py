@@ -1,0 +1,154 @@
+"""Tests for the LO-RANSAC robust estimation wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pose import (
+    make_absolute_problem,
+    make_relative_problem,
+    rotation_angle_deg,
+)
+from repro.mcu.ops import OpCounter
+from repro.pose.ransac import (
+    AbsolutePoseAdapter,
+    RansacConfig,
+    RelativePoseAdapter,
+    _required_iterations,
+    lo_ransac,
+)
+
+CFG = RansacConfig(threshold_px=2.0, seed=7)
+
+
+class TestAdaptiveStopping:
+    def test_perfect_inliers_need_no_more(self):
+        assert _required_iterations(1.0, 5, 0.99) == 0.0
+
+    def test_zero_inliers_is_infinite(self):
+        assert _required_iterations(0.0, 5, 0.99) == np.inf
+
+    def test_bigger_samples_need_more_iterations(self):
+        w = 0.7
+        assert _required_iterations(w, 8, 0.99) > _required_iterations(w, 2, 0.99)
+
+    def test_lower_inlier_ratio_needs_more(self):
+        assert _required_iterations(0.5, 5, 0.99) > _required_iterations(0.9, 5, 0.99)
+
+
+class TestRelativeRansac:
+    @pytest.mark.parametrize("minimal,upright,planar", [
+        ("5pt", False, False),
+        ("u3pt", True, False),
+        ("up2pt", True, True),
+    ])
+    def test_recovers_pose_with_outliers(self, minimal, upright, planar):
+        successes = 0
+        for seed in range(5):
+            prob = make_relative_problem(
+                n_points=24, noise_px=0.5, outlier_ratio=0.25,
+                upright=upright, planar=planar, seed=seed,
+            )
+            result = lo_ransac(
+                OpCounter(), RelativePoseAdapter(prob.x1, prob.x2, minimal=minimal),
+                CFG,
+            )
+            if result.model is not None and rotation_angle_deg(
+                result.model[0], prob.r_true
+            ) < 3.0:
+                successes += 1
+        assert successes >= 4
+
+    def test_inlier_mask_identifies_outliers(self):
+        prob = make_relative_problem(n_points=24, noise_px=0.3,
+                                     outlier_ratio=0.25, seed=1)
+        result = lo_ransac(
+            OpCounter(), RelativePoseAdapter(prob.x1, prob.x2, minimal="5pt"), CFG
+        )
+        # Most found inliers must be true inliers.
+        found = result.inlier_mask
+        precision = (found & prob.inlier_mask).sum() / max(found.sum(), 1)
+        assert precision > 0.85
+
+    def test_upright_solvers_need_fewer_iterations(self):
+        """Fig. 5(d): minimal sample size drives the iteration count."""
+        iters = {}
+        for minimal, upright, planar in (("5pt", False, False), ("up2pt", True, True)):
+            total = 0
+            for seed in range(5):
+                prob = make_relative_problem(
+                    n_points=24, noise_px=0.5, outlier_ratio=0.25,
+                    upright=upright, planar=planar, seed=seed,
+                )
+                result = lo_ransac(
+                    OpCounter(),
+                    RelativePoseAdapter(prob.x1, prob.x2, minimal=minimal),
+                    CFG,
+                )
+                total += result.iterations
+            iters[minimal] = total / 5
+        assert iters["up2pt"] < iters["5pt"]
+
+    def test_lo_runs_bounded(self):
+        prob = make_relative_problem(n_points=24, noise_px=0.5,
+                                     outlier_ratio=0.25, seed=2)
+        cfg = RansacConfig(threshold_px=2.0, max_lo_runs=2, seed=0)
+        result = lo_ransac(
+            OpCounter(), RelativePoseAdapter(prob.x1, prob.x2, minimal="5pt"), cfg
+        )
+        assert result.lo_runs <= 2
+
+    def test_unknown_minimal_rejected(self):
+        prob = make_relative_problem(seed=0)
+        with pytest.raises(ValueError):
+            RelativePoseAdapter(prob.x1, prob.x2, minimal="7pt")
+
+    def test_max_iterations_respected(self):
+        prob = make_relative_problem(n_points=24, noise_px=0.5,
+                                     outlier_ratio=0.4, seed=3)
+        cfg = RansacConfig(threshold_px=1.0, max_iterations=7, seed=0)
+        result = lo_ransac(
+            OpCounter(), RelativePoseAdapter(prob.x1, prob.x2, minimal="5pt"), cfg
+        )
+        assert result.iterations <= 7
+
+
+class TestAbsoluteRansac:
+    @pytest.mark.parametrize("minimal,upright", [("p3p", False), ("up2p", True)])
+    def test_recovers_pose_with_outliers(self, minimal, upright):
+        successes = 0
+        for seed in range(5):
+            prob = make_absolute_problem(
+                n_points=24, noise_px=0.5, outlier_ratio=0.25,
+                upright=upright, seed=seed,
+            )
+            result = lo_ransac(
+                OpCounter(),
+                AbsolutePoseAdapter(prob.points_world, prob.points_image,
+                                    minimal=minimal),
+                CFG,
+            )
+            if result.model is not None and rotation_angle_deg(
+                result.model[0], prob.r_true
+            ) < 3.0:
+                successes += 1
+        assert successes >= 4
+
+    def test_local_optimization_improves_or_preserves_score(self):
+        prob = make_absolute_problem(n_points=30, noise_px=0.5,
+                                     outlier_ratio=0.25, seed=4)
+        adapter = AbsolutePoseAdapter(prob.points_world, prob.points_image)
+        with_lo = lo_ransac(OpCounter(), adapter, RansacConfig(
+            threshold_px=2.0, seed=1, local_optimization=True))
+        without = lo_ransac(OpCounter(), adapter, RansacConfig(
+            threshold_px=2.0, seed=1, local_optimization=False,
+            final_refinement=False))
+        assert with_lo.score >= without.score
+
+    def test_inlier_ratio_property(self):
+        prob = make_absolute_problem(n_points=20, noise_px=0.3,
+                                     outlier_ratio=0.25, seed=5)
+        result = lo_ransac(
+            OpCounter(),
+            AbsolutePoseAdapter(prob.points_world, prob.points_image), CFG,
+        )
+        assert 0.5 < result.inlier_ratio <= 1.0

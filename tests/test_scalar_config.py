@@ -1,0 +1,84 @@
+"""Tests for scalar-type parsing and the JSON harness config."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import DEFAULT_CONFIG, HarnessConfig
+from repro.scalar import F32, F64, ScalarType, parse_scalar, q
+
+
+class TestScalarType:
+    def test_parse_floats(self):
+        assert parse_scalar("f32") is not None
+        assert parse_scalar("float").kind == "f32"
+        assert parse_scalar("double").kind == "f64"
+
+    def test_parse_q_format(self):
+        s = parse_scalar("q7.24")
+        assert s.is_fixed
+        assert s.q_int == 7 and s.q_frac == 24
+
+    def test_parse_passthrough(self):
+        assert parse_scalar(F64) is F64
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_scalar("int8")
+
+    def test_q_requires_31_bits(self):
+        with pytest.raises(ValueError):
+            q(7, 20)
+
+    def test_names(self):
+        assert F32.name == "f32"
+        assert q(7, 24).name == "q7.24"
+
+    def test_dtypes(self):
+        import numpy as np
+
+        assert F32.dtype == np.float32
+        assert F64.dtype == np.float64
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarType("bf16")
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_q_roundtrip_through_parse(self, int_bits):
+        s = q(int_bits, 31 - int_bits)
+        assert parse_scalar(s.name) == s
+
+
+class TestHarnessConfig:
+    def test_defaults_valid(self):
+        DEFAULT_CONFIG.validated()
+
+    def test_json_roundtrip(self):
+        cfg = HarnessConfig(reps=5, warmup_reps=2, verbosity=1)
+        again = HarnessConfig.from_json(cfg.to_json())
+        assert again == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            HarnessConfig.from_json('{"reps": 2, "bogus": 1}')
+
+    def test_invalid_reps_rejected(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(reps=0).validated()
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(warmup_reps=-1).validated()
+
+    def test_with_cache_preserves_other_fields(self):
+        cfg = HarnessConfig(reps=7, warmup_reps=3)
+        off = cfg.with_cache(False)
+        assert off.cache_enabled is False
+        assert off.reps == 7 and off.warmup_reps == 3
+
+    def test_save_load(self, tmp_path):
+        cfg = HarnessConfig(reps=4)
+        path = tmp_path / "cfg.json"
+        cfg.save(path)
+        assert HarnessConfig.load(path) == cfg

@@ -1,0 +1,158 @@
+"""Tests for the static code model, the perception front end, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import images
+from repro.mcu.arch import M0PLUS, M4, M33, M7
+from repro.mcu.ops import OpCounter
+from repro.mcu.static import CODE_BLOCKS, StaticMix, compose, static_profile
+from repro.perception.frontend import match_frames, register_frames
+
+
+class TestStaticModel:
+    def test_compose_adds_blocks(self):
+        a = CODE_BLOCKS["gaussian_blur"]
+        b = CODE_BLOCKS["fast_detector"]
+        total = compose(("gaussian_blur", "fast_detector"))
+        assert total.flash_bytes == a.flash_bytes + b.flash_bytes
+        assert total.f == a.f + b.f
+
+    def test_compose_with_repeats(self):
+        single = compose(("dense_matmul",))
+        double = compose(("dense_matmul",), repeat={"dense_matmul": 2})
+        assert double.f == 2 * single.f
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(KeyError):
+            compose(("warp_drive",))
+
+    def test_mix_arithmetic(self):
+        m = StaticMix(100, 1, 2, 3, 4)
+        s = m + m
+        assert (s.flash_bytes, s.f, s.i, s.m, s.b) == (200, 2, 4, 6, 8)
+        assert m.scaled(3.0).f == 3
+        assert m.total_instructions == 10
+
+    def test_profile_deterministic(self):
+        base = compose(("svd", "harness_runtime"))
+        p1 = static_profile("5pt", base, M4)
+        p2 = static_profile("5pt", base, M4)
+        assert p1 == p2
+
+    def test_profile_differs_per_kernel(self):
+        base = compose(("svd",))
+        assert static_profile("5pt", base, M4) != static_profile("8pt", base, M4)
+
+    def test_m7_emits_fewer_branches(self):
+        base = compose(("ransac_loop", "grobner_5pt"))
+        m4 = static_profile("rel-lo-ransac", base, M4)
+        m7 = static_profile("rel-lo-ransac", base, M7)
+        assert m7.b < m4.b
+
+    def test_m0plus_soft_float_shifts_mix(self):
+        """Without an FPU, float code compiles into int/mem/branch."""
+        base = compose(("quat_update", "marg_correction"))
+        m0 = static_profile("mahony", base, M0PLUS)
+        m4 = static_profile("mahony", base, M4)
+        assert m0.f == 0
+        assert m0.i > m4.i
+
+    def test_flash_nearly_identical_across_cores(self):
+        """The paper's note: flash differences between cores are minor."""
+        base = compose(("ekf_predict", "ekf_update"))
+        sizes = [static_profile("fly-ekf (sync)", base, a).flash_bytes
+                 for a in (M4, M33, M7)]
+        assert max(sizes) / min(sizes) < 1.02
+
+
+class TestFrontend:
+    PAIR = images.flow_pair("midd", shape=(160, 160), displacement=(4.0, -6.0),
+                            noise_std=1.0, seed=2)
+
+    def test_matching_finds_correspondences(self):
+        matches = match_frames(OpCounter(), self.PAIR["frame0"],
+                               self.PAIR["frame1"])
+        assert matches.n >= 6
+        # The per-match displacement should cluster around the truth.
+        deltas = matches.points1 - matches.points0
+        med = np.median(deltas, axis=0)
+        assert med == pytest.approx([4.0, -6.0], abs=1.5)
+
+    def test_registration_recovers_translation(self):
+        result = register_frames(OpCounter(), self.PAIR["frame0"],
+                                 self.PAIR["frame1"])
+        assert result.homography is not None
+        assert result.n_inliers >= 4
+        assert result.translation_px == pytest.approx([4.0, -6.0], abs=1.0)
+
+    def test_identical_frames_zero_translation(self):
+        frame = images.load("midd", shape=(160, 160), seed=5)
+        result = register_frames(OpCounter(), frame, frame)
+        assert result.translation_px == pytest.approx([0.0, 0.0], abs=0.5)
+
+    def test_featureless_frames_fail_gracefully(self):
+        flat = np.full((160, 160), 100, dtype=np.uint8)
+        result = register_frames(OpCounter(), flat, flat)
+        assert result.homography is None
+        assert result.n_matches < 4
+
+    def test_ops_recorded(self):
+        c = OpCounter()
+        register_frames(c, self.PAIR["frame0"], self.PAIR["frame1"])
+        assert c.trace.total > 100_000  # detection dominates
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fastbrief" in out and "bee-smac" in out
+
+    def test_run_kernel(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "up2p", "--arch", "m33", "--reps", "1",
+                     "--warmup", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "Cortex-M33" in out
+
+    def test_run_fixed_point(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "mahony", "--arch", "m0plus", "--scalar", "q7.24",
+                     "--reps", "1", "--warmup", "0"])
+        assert code == 0
+        assert "q7.24" in capsys.readouterr().out
+
+    def test_run_memory_skip(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "sift", "--arch", "m4", "--reps", "1",
+                     "--warmup", "0"]) == 1
+        assert "does not fit" in capsys.readouterr().out
+
+    def test_sweep_with_csv_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.csv"
+        assert main(["sweep", "--kernels", "up2p", "--archs", "m4",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "up2p" in text
+
+    def test_tables_5(self, capsys):
+        from repro.cli import main
+
+        assert main(["tables", "--table", "5"]) == 0
+        assert "Cortex-M7" in capsys.readouterr().out
+
+    def test_mission(self, capsys):
+        from repro.cli import main
+
+        assert main(["mission", "steer", "--arch", "m33"]) == 0
+        out = capsys.readouterr().out
+        assert "completed : True" in out
