@@ -29,17 +29,40 @@ OVERRIDES = {
 
 
 @pytest.fixture(scope="module")
-def sweep():
-    from repro.core.experiment import SweepSpec, run_sweep
+def table4_spec():
+    from repro.core.experiment import SweepSpec
     from repro.mcu.arch import CHARACTERIZATION_ARCHS
 
-    spec = SweepSpec(
+    return SweepSpec(
         kernels=list(tables.TABLE_KERNELS),
         archs=list(CHARACTERIZATION_ARCHS),
         config=HarnessConfig(reps=1, warmup_reps=0),
         overrides=OVERRIDES,
     )
-    return run_sweep(spec)
+
+
+@pytest.fixture(scope="module")
+def trace_cache():
+    # Shared across this module's tests: the full-suite sweep warms it,
+    # the warm-repricing benchmark then re-prices without a single solve.
+    from repro.engine import TraceCache
+
+    return TraceCache()
+
+
+@pytest.fixture(scope="module")
+def sweep(table4_spec, trace_cache):
+    from repro.engine import EngineOptions, Telemetry, run_sweep_engine
+
+    telemetry = Telemetry()
+    results = run_sweep_engine(
+        table4_spec,
+        options=EngineOptions(jobs=2, trace_cache=trace_cache),
+        telemetry=telemetry,
+    )
+    summary = telemetry.summary()
+    results.engine_summary = summary  # stashed for the telemetry artifact
+    return results
 
 
 def test_table4_dynamic(benchmark, save_artifact, sweep):
@@ -82,3 +105,34 @@ def test_table4_dynamic(benchmark, save_artifact, sweep):
     # Spectrum: attitude filters in microseconds, sift in seconds territory.
     assert lat("mahony", "m4") < 20
     assert lat("sift", "m7") > 50_000
+
+
+def test_table4_engine_warm_repricing(benchmark, artifact_dir, table4_spec,
+                                      trace_cache, sweep):
+    """Warm-cache regeneration: the whole table re-prices with zero solves.
+
+    Saves the engine telemetry summary as a JSON artifact so BENCH_*
+    trajectories can track cache hit rate and repricing wall time per PR.
+    """
+    import json
+
+    from repro.core.experiment_io import save_telemetry_json
+    from repro.engine import EngineOptions, Telemetry, run_sweep_engine
+
+    def warm_run():
+        telemetry = Telemetry()
+        results = run_sweep_engine(
+            table4_spec,
+            options=EngineOptions(trace_cache=trace_cache),
+            telemetry=telemetry,
+        )
+        return results, telemetry.summary()
+
+    results, summary = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    assert len(results) == 31 * 3 * 2
+    assert summary["solves_executed"] == 0
+    assert summary["cache_hit_rate"] == 1.0
+
+    payload = {"cold_sweep": sweep.engine_summary, "warm_repricing": summary}
+    path = save_telemetry_json(payload, artifact_dir / "table4_engine_telemetry.json")
+    assert json.loads(path.read_text())["warm_repricing"]["cache_hits"] > 0

@@ -13,7 +13,6 @@ from typing import Dict, Iterable, List, Optional
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.experiment import SweepResults, SweepSpec, run_sweep
-from repro.core.harness import Harness
 from repro.core.results import si_format
 from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, ArchSpec
 from repro.mcu.cache import CACHE_OFF, CACHE_ON
@@ -89,15 +88,28 @@ def table4_dynamic(
     kernels: Optional[Iterable[str]] = None,
     config: Optional[HarnessConfig] = None,
     archs: Optional[List[ArchSpec]] = None,
+    jobs: int = 1,
+    cache_dir=None,
+    telemetry=None,
 ) -> SweepResults:
-    """Table IV: latency/energy/peak power, caches on and off, per core."""
+    """Table IV: latency/energy/peak power, caches on and off, per core.
+
+    ``jobs``/``cache_dir``/``telemetry`` thread through to the execution
+    engine: the table regenerates from cached traces when available.
+    """
+    from repro.engine import EngineOptions
+
     spec = SweepSpec(
         kernels=list(kernels) if kernels is not None else list(TABLE_KERNELS),
         archs=archs if archs is not None else list(CHARACTERIZATION_ARCHS),
         caches=(CACHE_ON, CACHE_OFF),
         config=config if config is not None else HarnessConfig(reps=1, warmup_reps=0),
     )
-    return run_sweep(spec)
+    return run_sweep(
+        spec,
+        options=EngineOptions(jobs=jobs, cache_dir=cache_dir),
+        telemetry=telemetry,
+    )
 
 
 def render_table4(results: SweepResults,
@@ -169,31 +181,52 @@ def render_table5(rows: List[Dict]) -> str:
 def table6_perception(
     datasets: Iterable[str] = ("midd", "lights", "april"),
     config: Optional[HarnessConfig] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> List[Dict]:
     """Table VI: perception energy/Pmax across datasets (Case Study 1).
 
     Feature detectors sweep all three datasets; flow kernels run on midd,
-    with the bbof-vec DSP variant included.
+    with the bbof-vec DSP variant included.  One engine sweep per dataset
+    group: each kernel configuration solves once and re-prices across the
+    three cores (the pre-engine driver re-executed it per core).
     """
+    from repro.engine import EngineOptions
+
     config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
+    options = EngineOptions(jobs=jobs, cache_dir=cache_dir)
+
+    def run_group(kernels: List[str], dataset: str) -> Dict[str, Dict]:
+        spec = SweepSpec(
+            kernels=kernels,
+            archs=list(CHARACTERIZATION_ARCHS),
+            caches=(CACHE_ON,),
+            config=config,
+            overrides={"*": {"dataset": dataset}},
+        )
+        sweep = run_sweep(spec, options=options)
+        group_rows: Dict[str, Dict] = {}
+        for kernel in kernels:
+            row = {"kernel": kernel, "data": dataset}
+            for arch in CHARACTERIZATION_ARCHS:
+                result = sweep.get(kernel, arch.name, "C")
+                fits = result is not None and result.fits
+                row[f"energy_{arch.name}_uj"] = result.unit_energy_uj if fits else None
+                row[f"pmax_{arch.name}_mw"] = result.peak_power_mw if fits else None
+                row[f"cycles_{arch.name}"] = result.unit_cycles if fits else None
+            group_rows[kernel] = row
+        return group_rows
+
     rows: List[Dict] = []
-    harnesses = {a.name: Harness(a, config) for a in CHARACTERIZATION_ARCHS}
-
-    def run_one(kernel: str, dataset: str, factory_kwargs: dict) -> Dict:
-        row = {"kernel": kernel, "data": dataset}
-        for arch in CHARACTERIZATION_ARCHS:
-            problem = registry.create(kernel, **factory_kwargs)
-            result = harnesses[arch.name].run(problem, CACHE_ON)
-            row[f"energy_{arch.name}_uj"] = result.unit_energy_uj if result.fits else None
-            row[f"pmax_{arch.name}_mw"] = result.peak_power_mw if result.fits else None
-            row[f"cycles_{arch.name}"] = result.unit_cycles if result.fits else None
-        return row
-
+    detector_rows = {
+        dataset: run_group(["fastbrief", "orb"], dataset) for dataset in datasets
+    }
     for kernel in ("fastbrief", "orb"):
         for dataset in datasets:
-            rows.append(run_one(kernel, dataset, {"dataset": dataset}))
+            rows.append(detector_rows[dataset][kernel])
+    flow_rows = run_group(["lkof", "bbof", "bbof-vec", "iiof"], "midd")
     for kernel in ("lkof", "bbof", "bbof-vec", "iiof"):
-        rows.append(run_one(kernel, "midd", {"dataset": "midd"}))
+        rows.append(flow_rows[kernel])
     return rows
 
 

@@ -5,6 +5,8 @@ Mirrors the artifact's make-target workflow with subcommands::
     python -m repro list                       # the registered suite
     python -m repro run mahony --arch m4       # one kernel, one core
     python -m repro sweep --kernels mahony,p3p --out results.json
+    python -m repro sweep --jobs 4 --cache-dir .trace-cache --resume \
+        --out results.json                     # engine: parallel + cached
     python -m repro tables --table 4           # regenerate a paper table
     python -m repro mission hover --arch m33   # closed-loop evaluation
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import registry
@@ -57,9 +60,33 @@ def _cmd_run(args) -> int:
     return 0 if result.all_valid else 1
 
 
+def _engine_options(args):
+    """Build EngineOptions from the shared --jobs/--cache-dir/... flags."""
+    from repro.engine import EngineOptions
+
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and checkpoint is None and getattr(args, "out", None):
+        # --resume without an explicit checkpoint derives one from --out.
+        checkpoint = str(Path(args.out).with_suffix(".checkpoint.jsonl"))
+    return EngineOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not getattr(args, "no_cache", False),
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.core.experiment import SweepSpec, run_sweep
-    from repro.core.experiment_io import save_results_csv, save_results_json
+    from repro.core.experiment_io import (
+        save_results_csv,
+        save_results_json,
+        save_telemetry_json,
+        telemetry_path_for,
+    )
+    from repro.engine import Telemetry, verbose_subscriber
 
     kernels = (args.kernels.split(",") if args.kernels else registry.suite())
     archs = ([get_arch(a) for a in args.archs.split(",")]
@@ -69,14 +96,28 @@ def _cmd_sweep(args) -> int:
         archs=archs,
         config=HarnessConfig(reps=args.reps, warmup_reps=args.warmup),
     )
-    results = run_sweep(spec, progress=print if args.verbose else None)
+    telemetry = Telemetry()
+    if args.verbose:
+        telemetry.subscribe(verbose_subscriber(print))
+    results = run_sweep(spec, options=_engine_options(args), telemetry=telemetry)
+    summary = telemetry.summary()
     print(f"{len(results)} configurations, {results.datapoints()} datapoints")
+    print(
+        f"engine    : {summary['solves_executed']} solves, "
+        f"{summary['cache_hits']} cache hits "
+        f"({summary['cache_hit_rate']:.0%}), "
+        f"{summary['cells_resumed']} cells resumed, "
+        f"{summary['wall_s']:.2f}s wall "
+        f"(~{summary['est_speedup_vs_serial']:.1f}x vs serial)"
+    )
     if args.out:
         if args.out.endswith(".csv"):
             path = save_results_csv(results, args.out)
         else:
             path = save_results_json(results, args.out)
         print(f"saved: {path}")
+        tpath = save_telemetry_json(summary, telemetry_path_for(args.out))
+        print(f"telemetry: {tpath}")
     return 0
 
 
@@ -88,7 +129,9 @@ def _cmd_tables(args) -> int:
     if table == 3:
         print(tables.render_table3(tables.table3_static()))
     elif table == 4:
-        sweep = tables.table4_dynamic(config=config)
+        sweep = tables.table4_dynamic(
+            config=config, jobs=args.jobs, cache_dir=args.cache_dir
+        )
         print(tables.render_table4(sweep, kernels=tables.TABLE_KERNELS))
     elif table == 5:
         print(tables.render_table5(tables.table5_architectures()))
@@ -159,11 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warmup", type=int, default=0)
     sweep.add_argument("--out", default=None, help=".json or .csv path")
     sweep.add_argument("--verbose", action="store_true")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="parallel solve workers (default: 1 = serial)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persistent trace-cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the trace cache (always re-solve)")
+    sweep.add_argument("--checkpoint", default=None,
+                       help="checkpoint file for kill-resume (JSONL)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint's completed cells")
 
     tables_p = sub.add_parser("tables", help="regenerate a paper table")
     tables_p.add_argument("--table", type=int, required=True, choices=range(3, 9))
     tables_p.add_argument("--reps", type=int, default=1)
     tables_p.add_argument("--warmup", type=int, default=0)
+    tables_p.add_argument("--jobs", type=int, default=1,
+                          help="parallel solve workers (table 4)")
+    tables_p.add_argument("--cache-dir", default=None,
+                          help="persistent trace-cache directory (table 4)")
 
     mission = sub.add_parser("mission", help="closed-loop mission evaluation")
     mission.add_argument("mission", choices=("hover", "waypoints", "steer"))

@@ -1,7 +1,13 @@
 """Core framework: problems, harness, registry, experiments."""
 
 from repro.core.config import DEFAULT_CONFIG, HarnessConfig
-from repro.core.experiment import SweepResults, SweepSpec, characterize_suite, run_sweep
+from repro.core.experiment import (
+    SweepResults,
+    SweepSpec,
+    characterize_suite,
+    run_sweep,
+    run_sweep_serial,
+)
 from repro.core.harness import Harness
 from repro.core.problem import EntoProblem
 from repro.core.results import BenchmarkResult, RunRecord, si_format
@@ -14,6 +20,7 @@ __all__ = [
     "SweepSpec",
     "characterize_suite",
     "run_sweep",
+    "run_sweep_serial",
     "Harness",
     "EntoProblem",
     "BenchmarkResult",

@@ -4,6 +4,14 @@ This is the driver behind the paper's 400+ measured datapoints: it walks
 the registry, runs each kernel on each requested core with caches on and
 off, and collects the aggregate results that the analysis layer formats
 into the paper's tables.
+
+Since the engine landed, :func:`run_sweep` is a thin compatibility wrapper
+over :mod:`repro.engine`, which solves each kernel configuration once and
+re-prices its op-traces across every (core, cache) cell — optionally in
+parallel, against a persistent trace cache, and resumable from a
+checkpoint.  :func:`run_sweep_serial` keeps the original quadruple loop as
+the reference implementation; the engine's results are asserted
+bit-identical to it in ``tests/test_engine.py``.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core import registry
-from repro.core.config import DEFAULT_CONFIG, HarnessConfig
+from repro.core.config import HarnessConfig
 from repro.core.harness import Harness
 from repro.core.results import BenchmarkResult
 from repro.mcu.arch import CHARACTERIZATION_ARCHS, ArchSpec
@@ -26,7 +34,9 @@ class SweepSpec:
     kernels: List[str]
     archs: List[ArchSpec] = field(default_factory=lambda: list(CHARACTERIZATION_ARCHS))
     caches: Tuple[CacheConfig, ...] = (CACHE_ON, CACHE_OFF)
-    config: HarnessConfig = DEFAULT_CONFIG
+    #: Each spec owns its config (default_factory, not a shared module
+    #: instance) so per-spec adjustments can never alias across sweeps.
+    config: HarnessConfig = field(default_factory=HarnessConfig)
     #: Extra kwargs passed to each kernel factory, keyed by kernel name
     #: ("*" applies to all).
     overrides: Dict[str, dict] = field(default_factory=dict)
@@ -39,12 +49,41 @@ class SweepSpec:
 
 @dataclass
 class SweepResults:
-    """All results of one sweep, with lookup helpers."""
+    """All results of one sweep, with O(1) lookup helpers.
+
+    ``add()`` maintains a ``(kernel, arch, cache[, scalar])`` index;
+    analysis/table code performs thousands of :meth:`get` calls per table,
+    which used to linear-scan the whole result list each time.  The index
+    rebuilds itself transparently if ``results`` was mutated directly.
+    """
 
     results: List[BenchmarkResult] = field(default_factory=list)
+    _index: Dict[tuple, BenchmarkResult] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=0, repr=False, compare=False)
+
+    def _index_one(self, result: BenchmarkResult) -> None:
+        # First-added wins both keys, preserving the original scan's
+        # first-match semantics.
+        full = (result.kernel, result.arch, result.cache, result.scalar)
+        self._index.setdefault(full, result)
+        any_scalar = (result.kernel, result.arch, result.cache)
+        self._index.setdefault(any_scalar, result)
+
+    def _refresh_index(self) -> None:
+        if self._indexed_count == len(self.results):
+            return
+        self._index.clear()
+        for result in self.results:
+            self._index_one(result)
+        self._indexed_count = len(self.results)
 
     def add(self, result: BenchmarkResult) -> None:
+        self._refresh_index()
         self.results.append(result)
+        self._index_one(result)
+        self._indexed_count = len(self.results)
 
     def get(
         self,
@@ -53,11 +92,10 @@ class SweepResults:
         cache: str = "C",
         scalar: Optional[str] = None,
     ) -> Optional[BenchmarkResult]:
-        for r in self.results:
-            if r.kernel == kernel and r.arch == arch and r.cache == cache:
-                if scalar is None or r.scalar == scalar:
-                    return r
-        return None
+        self._refresh_index()
+        if scalar is None:
+            return self._index.get((kernel, arch, cache))
+        return self._index.get((kernel, arch, cache, scalar))
 
     def kernels(self) -> List[str]:
         seen: List[str] = []
@@ -74,11 +112,17 @@ class SweepResults:
         return sum(len(r.runs) for r in self.results)
 
 
-def run_sweep(
+def run_sweep_serial(
     spec: SweepSpec,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResults:
-    """Execute a sweep and return the collected results."""
+    """The original serial driver: one full harness run per cell.
+
+    Re-executes each kernel's real compute for every (arch, cache) cell.
+    Kept as the engine's reference implementation — the equivalence tests
+    assert the engine reproduces this bit for bit — and for harness-level
+    instrumentation studies that want the plain loop.
+    """
     out = SweepResults()
     for arch in spec.archs:
         for cache in spec.caches:
@@ -94,15 +138,54 @@ def run_sweep(
     return out
 
 
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[Callable[[str], None]] = None,
+    *,
+    options=None,
+    telemetry=None,
+) -> SweepResults:
+    """Execute a sweep and return the collected results.
+
+    Compatibility wrapper over :func:`repro.engine.run_sweep_engine`:
+    same signature and bit-identical results as the historical serial
+    driver, but each kernel configuration is solved only once and
+    re-priced across cells.  Pass ``options``
+    (:class:`repro.engine.EngineOptions`) for parallel workers, a
+    persistent trace cache, or checkpoint/resume, and ``telemetry``
+    (:class:`repro.engine.Telemetry`) to capture structured events.
+    """
+    from repro.engine import run_sweep_engine
+
+    return run_sweep_engine(
+        spec, options=options, telemetry=telemetry, progress=progress
+    )
+
+
 def characterize_suite(
     kernels: Optional[Iterable[str]] = None,
-    config: HarnessConfig = DEFAULT_CONFIG,
+    config: Optional[HarnessConfig] = None,
     archs: Optional[List[ArchSpec]] = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    telemetry=None,
 ) -> SweepResults:
-    """Run the paper's full workload characterization (Table IV)."""
+    """Run the paper's full workload characterization (Table IV).
+
+    ``jobs`` and ``cache_dir`` thread through to the execution engine:
+    with a warm cache the whole characterization re-prices persisted
+    traces without a single kernel ``solve()``.
+    """
+    from repro.engine import EngineOptions
+
     spec = SweepSpec(
         kernels=list(kernels) if kernels is not None else registry.suite(),
         archs=archs if archs is not None else list(CHARACTERIZATION_ARCHS),
-        config=config,
+        config=config if config is not None else HarnessConfig(),
     )
-    return run_sweep(spec)
+    return run_sweep(
+        spec,
+        options=EngineOptions(jobs=jobs, cache_dir=cache_dir),
+        telemetry=telemetry,
+    )

@@ -4,7 +4,11 @@ The C++ framework's ``ExperimentIO`` moves data between host and MCU over
 semihosting and lets problems buffer results on-device (``SavesResults``).
 Here it persists sweeps: results serialize to JSON (full fidelity,
 including operation traces) and CSV (one summary row per configuration,
-convenient for plotting), and reload into the same dataclasses.
+convenient for plotting), and reload into the same dataclasses.  The
+execution engine additionally persists through this module: sweep
+checkpoints (JSONL of completed cells, for kill-resume) and per-sweep
+telemetry summaries (cache hit rate, cells run/skipped, wall time) written
+next to the experiment output.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, TextIO, Tuple, Union
 
 from repro.core.experiment import SweepResults
 from repro.core.results import BenchmarkResult, RunRecord
@@ -21,6 +25,7 @@ from repro.mcu.ops import OpTrace
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 def _run_to_dict(run: RunRecord) -> dict:
@@ -78,6 +83,16 @@ def _result_from_dict(data: dict) -> BenchmarkResult:
     )
     result.runs = [_run_from_dict(r) for r in data["runs"]]
     return result
+
+
+def result_to_dict(result: BenchmarkResult) -> dict:
+    """Serialize one result with full per-run fidelity (public API)."""
+    return _result_to_dict(result)
+
+
+def result_from_dict(data: dict) -> BenchmarkResult:
+    """Rebuild a result serialized by :func:`result_to_dict`."""
+    return _result_from_dict(data)
 
 
 def save_results_json(results: SweepResults, path: PathLike) -> Path:
@@ -150,3 +165,87 @@ def load_results_csv(path: PathLike) -> List[dict]:
     """Read back the CSV summary (as dicts; numbers remain strings)."""
     with Path(path).open(newline="") as fh:
         return list(csv.DictReader(fh))
+
+
+# -- engine checkpoints -------------------------------------------------------
+#
+# A checkpoint is a JSONL file: a header line carrying the format version
+# and the sweep plan's fingerprint, then one line per completed cell.  The
+# engine appends a line (and flushes) after pricing each cell, so a killed
+# sweep loses at most the in-flight cell; on resume, completed cells are
+# reloaded and neither re-priced nor — when a whole kernel's cells are
+# covered — re-solved.
+
+CellKey = Tuple[str, str, str]  # (kernel, arch, cache label)
+
+
+def init_checkpoint(path: PathLike, fingerprint: str) -> Path:
+    """Start (or restart) a checkpoint file for one planned sweep."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"checkpoint_version": _CHECKPOINT_VERSION, "fingerprint": fingerprint}
+    path.write_text(json.dumps(header) + "\n")
+    return path
+
+
+def write_checkpoint_line(fh: TextIO, cell: CellKey, result: BenchmarkResult) -> None:
+    """Append one completed cell; flushed so a kill loses at most one."""
+    fh.write(json.dumps({"cell": list(cell), "result": _result_to_dict(result)}) + "\n")
+    fh.flush()
+
+
+def load_checkpoint(path: PathLike, fingerprint: str) -> Dict[CellKey, BenchmarkResult]:
+    """Reload completed cells from a checkpoint.
+
+    Raises ``ValueError`` if the checkpoint belongs to a different sweep
+    plan (changed kernels/archs/caches/config would make its cells lie).
+    A torn final line — the kill happened mid-write — is ignored.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        return {}
+    header = json.loads(lines[0])
+    version = header.get("checkpoint_version")
+    if version != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {_CHECKPOINT_VERSION})"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise ValueError(
+            "checkpoint does not match this sweep plan "
+            "(kernels/archs/caches/config changed); delete it or drop --resume"
+        )
+    done: Dict[CellKey, BenchmarkResult] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            cell = tuple(entry["cell"])
+            done[cell] = _result_from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            break  # torn tail from a mid-write kill; everything before is good
+    return done
+
+
+# -- telemetry summaries ------------------------------------------------------
+
+
+def save_telemetry_json(summary: dict, path: PathLike) -> Path:
+    """Persist an engine telemetry summary next to the experiment output.
+
+    Benchmark trajectories (``BENCH_*.json``) and CI can diff these across
+    PRs to track engine performance: cache hit rate, cells run/skipped,
+    solver wall time, estimated speedup over the serial driver.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(summary, indent=1, sort_keys=True))
+    return path
+
+
+def telemetry_path_for(out_path: PathLike) -> Path:
+    """Conventional sidecar location: ``results.json`` -> ``results.telemetry.json``."""
+    out_path = Path(out_path)
+    return out_path.with_name(out_path.stem + ".telemetry.json")

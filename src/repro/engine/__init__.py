@@ -1,0 +1,59 @@
+"""Sweep execution engine: parallel, trace-cached, resumable.
+
+The paper's 400+ datapoint characterization is a kernel x core x cache x
+scalar grid where the expensive axis — actually executing each kernel's
+compute — is independent of core and cache state.  The engine exploits
+that: a planner groups a sweep's cells by solve configuration, a
+content-addressed trace cache persists solved profiles across runs, a
+process-pool executor fans the remaining solves out in parallel with
+checkpoint/resume, and a telemetry layer replaces the bare progress
+string with structured events and a summary report.
+
+Typical use::
+
+    from repro.core.experiment import SweepSpec
+    from repro.engine import EngineOptions, Telemetry, run_sweep_engine
+
+    telemetry = Telemetry()
+    results = run_sweep_engine(
+        SweepSpec(kernels=["mahony", "p3p"]),
+        options=EngineOptions(jobs=4, cache_dir=".trace-cache"),
+        telemetry=telemetry,
+    )
+    print(telemetry.summary())
+
+``repro.core.experiment.run_sweep`` is a thin compatibility wrapper over
+this package; its results are bit-identical to the historical serial
+driver (see ``tests/test_engine.py``).
+"""
+
+from repro.engine.executor import EngineOptions, run_plan, run_sweep_engine
+from repro.engine.planner import Cell, SolveJob, SweepPlan, build_plan, solve_key
+from repro.engine.profile import KernelProfile, price_profile, solve_profile
+from repro.engine.telemetry import (
+    Telemetry,
+    TelemetryEvent,
+    progress_subscriber,
+    verbose_subscriber,
+)
+from repro.engine.trace_cache import CacheStats, TraceCache
+
+__all__ = [
+    "Cell",
+    "CacheStats",
+    "EngineOptions",
+    "KernelProfile",
+    "SolveJob",
+    "SweepPlan",
+    "Telemetry",
+    "TelemetryEvent",
+    "TraceCache",
+    "build_plan",
+    "price_profile",
+    "progress_subscriber",
+    "run_plan",
+    "run_sweep_engine",
+    "solve_key",
+    "solve_profile",
+    "verbose_subscriber",
+]

@@ -1,0 +1,260 @@
+"""The sweep execution engine.
+
+Orchestrates a planned sweep end to end:
+
+1. **Resume** — with a checkpoint file, previously completed cells are
+   reloaded (guarded by a plan fingerprint) and neither re-priced nor,
+   when a whole job's cells are already done, re-solved.
+2. **Cache lookup** — each remaining job's profile is fetched from the
+   :class:`~repro.engine.trace_cache.TraceCache` by content address.
+3. **Solve** — cache misses fan out across a ``ProcessPoolExecutor``
+   (``jobs > 1``) or run inline (``jobs == 1``); each job executes its
+   kernel's real compute exactly once, however many cells need it.
+4. **Price** — every cell is priced from its job's profile in the
+   canonical (arch, cache, kernel) order, producing a
+   :class:`~repro.core.experiment.SweepResults` whose ordering and values
+   are bit-identical to the serial driver's; each priced cell is appended
+   to the checkpoint so a killed sweep restarts from where it died.
+
+Telemetry events trace every stage; the collector's summary reports cache
+hit rate, cells run/skipped/resumed, and the estimated speedup over the
+serial driver.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
+
+from repro.engine.planner import Cell, SolveJob, SweepPlan, build_plan
+from repro.engine.profile import KernelProfile, price_profile, skip_result, solve_profile
+from repro.engine.telemetry import Telemetry, progress_subscriber
+from repro.engine.trace_cache import TraceCache
+
+
+@dataclass
+class EngineOptions:
+    """How to execute a planned sweep."""
+
+    #: Worker processes for kernel solves; 1 = serial in-process.
+    jobs: int = 1
+    #: Directory for the persistent trace cache; None = in-memory only.
+    cache_dir: Optional[Union[str, Path]] = None
+    #: Disable the trace cache entirely (every job re-solves).
+    use_cache: bool = True
+    #: Share a pre-built cache instance (overrides cache_dir/use_cache).
+    trace_cache: Optional[TraceCache] = None
+    #: Checkpoint file (JSONL) for kill-resume; None = no checkpointing.
+    checkpoint: Optional[Union[str, Path]] = None
+    #: Reload completed cells from an existing checkpoint before running.
+    resume: bool = False
+
+    def make_cache(self) -> TraceCache:
+        if self.trace_cache is not None:
+            return self.trace_cache
+        return TraceCache(cache_dir=self.cache_dir, enabled=self.use_cache)
+
+
+def _solve_job_worker(payload: tuple) -> dict:
+    """Process-pool entry point: solve one job, return its profile dict."""
+    kernel, factory_kwargs, reps, warmup_reps = payload
+    start = perf_counter()
+    profile = solve_profile(kernel, factory_kwargs, reps, warmup_reps)
+    profile.solve_s = perf_counter() - start
+    return profile.to_dict()
+
+
+def _strict_memory_prescan(plan: SweepPlan, config) -> None:
+    """Replicate the serial driver's strict-memory failure, up front."""
+    if not config.strict_memory:
+        return
+    for cell in plan.cells:
+        job = plan.job_of_kernel[cell.kernel]
+        if cell in job.skip_cells:
+            from repro.mcu.memory import MemoryFitError
+
+            raise MemoryFitError(
+                f"{job.problem_name} exceeds {cell.arch} memory"
+            )
+
+
+def _resolve_profiles(
+    plan: SweepPlan,
+    pending: List[SolveJob],
+    options: EngineOptions,
+    cache: TraceCache,
+    telemetry: Telemetry,
+) -> Dict[str, KernelProfile]:
+    """Fetch or compute the profile for every job that needs one."""
+    profiles: Dict[str, KernelProfile] = {}
+    to_solve: List[SolveJob] = []
+    for job in pending:
+        telemetry.cells_by_key[job.key] = len(job.priced_cells)
+        hit = cache.get(job.key)
+        if hit is not None:
+            profiles[job.key] = hit
+            telemetry.cached_solve_s[job.key] = hit.solve_s
+            telemetry.emit("cache_hit", kernel=job.kernel, key=job.key)
+        else:
+            to_solve.append(job)
+
+    if not to_solve:
+        return profiles
+
+    telemetry.stage_start("solve")
+    if options.jobs > 1 and len(to_solve) > 1:
+        max_workers = min(options.jobs, len(to_solve))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            future_of = {}
+            for job in to_solve:
+                telemetry.emit("solve_started", kernel=job.kernel, key=job.key)
+                telemetry.job_launched()
+                payload = (job.kernel, job.factory_kwargs, job.reps, job.warmup_reps)
+                future_of[pool.submit(_solve_job_worker, payload)] = job
+            outstanding = set(future_of)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    job = future_of[future]
+                    out = future.result()  # worker errors propagate here
+                    telemetry.job_retired()
+                    profile = KernelProfile.from_dict(out)
+                    profiles[job.key] = profile
+                    cache.put(job.key, profile)
+                    telemetry.solve_wall_by_key[job.key] = profile.solve_s
+                    telemetry.emit(
+                        "solve_finished", kernel=job.kernel,
+                        key=job.key, solve_s=round(profile.solve_s, 6),
+                    )
+    else:
+        for job in to_solve:
+            telemetry.emit("solve_started", kernel=job.kernel, key=job.key)
+            telemetry.job_launched()
+            start = perf_counter()
+            profile = solve_profile(
+                job.kernel, job.factory_kwargs, job.reps, job.warmup_reps
+            )
+            profile.solve_s = perf_counter() - start
+            telemetry.job_retired()
+            profiles[job.key] = profile
+            cache.put(job.key, profile)
+            telemetry.solve_wall_by_key[job.key] = profile.solve_s
+            telemetry.emit(
+                "solve_finished", kernel=job.kernel,
+                key=job.key, solve_s=round(profile.solve_s, 6),
+            )
+    telemetry.stage_end("solve")
+    return profiles
+
+
+def run_plan(
+    plan: SweepPlan,
+    options: Optional[EngineOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+):
+    """Execute a planned sweep; returns ordered ``SweepResults``."""
+    from repro.core import experiment_io
+    from repro.core.experiment import SweepResults
+
+    options = options or EngineOptions()
+    telemetry = telemetry or Telemetry()
+    telemetry.jobs_requested = options.jobs
+    cache = options.make_cache()
+
+    telemetry.emit(
+        "sweep_started",
+        cells=len(plan.cells), jobs=len(plan.jobs),
+        solves_saved=plan.n_solves_saved, workers=options.jobs,
+    )
+
+    # Config invariants (strict memory) fail before any compute is spent.
+    config = plan.config
+    _strict_memory_prescan(plan, config)
+
+    # Resume: reload completed cells, guarded by the plan fingerprint.
+    fingerprint = plan.fingerprint()
+    done: Dict[Cell, object] = {}
+    checkpoint = Path(options.checkpoint) if options.checkpoint else None
+    if checkpoint is not None:
+        if options.resume and checkpoint.exists():
+            done = experiment_io.load_checkpoint(checkpoint, fingerprint)
+        else:
+            experiment_io.init_checkpoint(checkpoint, fingerprint)
+
+    # Jobs whose cells are all checkpointed need no profile at all.
+    pending = [
+        job for job in plan.jobs
+        if job.needs_solve and any(c not in done for c in job.priced_cells)
+    ]
+    profiles = _resolve_profiles(plan, pending, options, cache, telemetry)
+
+    # Price every cell in canonical order.
+    telemetry.stage_start("price")
+    out = SweepResults()
+    ckpt_fh = checkpoint.open("a") if checkpoint is not None else None
+    try:
+        for cell in plan.cells:
+            job = plan.job_of_kernel[cell.kernel]
+            if cell in done:
+                out.add(done[cell])
+                telemetry.emit(
+                    "cell_resumed",
+                    kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
+                )
+                continue
+            arch = plan.archs[cell.arch]
+            cache_config = plan.caches[cell.cache]
+            if cell in job.skip_cells:
+                result = skip_result(
+                    job.problem_name, job.scalar, job.dataset, job.stage,
+                    job.footprint, arch, cache_config,
+                )
+                out.add(result)
+                telemetry.emit(
+                    "cell_skipped",
+                    kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
+                    reason="memory",
+                )
+            else:
+                result = price_profile(profiles[job.key], arch, cache_config)
+                out.add(result)
+                telemetry.emit(
+                    "cell_finished",
+                    kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
+                    fits=result.fits, reps=len(result.runs),
+                )
+            if ckpt_fh is not None:
+                experiment_io.write_checkpoint_line(ckpt_fh, cell, result)
+    finally:
+        if ckpt_fh is not None:
+            ckpt_fh.close()
+    telemetry.stage_end("price")
+
+    telemetry.cache_stats = cache.stats.as_dict()
+    telemetry.emit(
+        "sweep_finished",
+        cells=len(out), solves=len(telemetry.solve_wall_by_key),
+        cache_hits=telemetry.counts.get("cache_hit", 0),
+    )
+    return out
+
+
+def run_sweep_engine(
+    spec,
+    options: Optional[EngineOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress=None,
+):
+    """Plan and execute a :class:`~repro.core.experiment.SweepSpec`.
+
+    ``progress`` accepts the legacy string callback; it is adapted into a
+    telemetry subscriber producing the exact historical lines.
+    """
+    telemetry = telemetry or Telemetry()
+    if progress is not None:
+        telemetry.subscribe(progress_subscriber(progress))
+    plan = build_plan(spec)
+    return run_plan(plan, options=options, telemetry=telemetry)

@@ -1,0 +1,242 @@
+"""Kernel solve profiles: the cacheable unit of sweep execution.
+
+A :class:`KernelProfile` captures everything about one kernel configuration
+that is *architecture-independent*: the dynamic op-trace of every measured
+repetition, the validation verdicts, the memory footprint, the base static
+instruction mix, and the work-unit count.  The expensive part of a sweep —
+actually running the kernel's real compute (SIFT pyramids, LO-RANSAC
+trials, ADMM iterations) — produces a profile once; re-pricing the profile
+on any core / cache state through :class:`~repro.mcu.pipeline.PipelineModel`
+and :class:`~repro.mcu.energy.EnergyModel` costs microseconds.
+
+``solve_profile`` replicates the harness's repetition loop exactly
+(including warm-up repetitions, which advance problem state), and
+``price_profile`` replicates the harness's pricing math exactly, so results
+assembled from a profile are bit-identical to a direct
+:meth:`~repro.core.harness.Harness.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core import registry
+from repro.core.results import BenchmarkResult, RunRecord
+from repro.mcu.arch import ArchSpec
+from repro.mcu.cache import CacheConfig, CacheModel
+from repro.mcu.energy import EnergyModel
+from repro.mcu.memory import Footprint, check_fit
+from repro.mcu.ops import OpCounter, OpTrace
+from repro.mcu.pipeline import PipelineModel
+from repro.mcu.static import StaticMix, static_profile
+from repro.scalar import parse_scalar
+
+#: Bump when the profile layout (or anything that feeds it) changes; stale
+#: cache entries are then treated as misses.
+PROFILE_FORMAT_VERSION = 1
+
+
+@dataclass
+class KernelProfile:
+    """Architecture-independent record of one kernel configuration's runs."""
+
+    kernel: str
+    scalar: str
+    seed: int
+    reps: int
+    warmup_reps: int
+    dataset: str
+    stage: str
+    work_units: int
+    footprint: Footprint
+    static_mix: StaticMix
+    #: One ``(trace, valid)`` pair per *measured* repetition, in order.
+    measured: List[Tuple[OpTrace, bool]] = field(default_factory=list)
+    #: Wall seconds the original solve took; rides along in the cache so
+    #: warm sweeps can still estimate their speedup over the serial driver.
+    solve_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": PROFILE_FORMAT_VERSION,
+            "kernel": self.kernel,
+            "scalar": self.scalar,
+            "seed": self.seed,
+            "reps": self.reps,
+            "warmup_reps": self.warmup_reps,
+            "dataset": self.dataset,
+            "stage": self.stage,
+            "work_units": self.work_units,
+            "footprint": {
+                "flash_bytes": self.footprint.flash_bytes,
+                "data_bytes": self.footprint.data_bytes,
+                "stack_bytes": self.footprint.stack_bytes,
+            },
+            "static_mix": {
+                "flash_bytes": self.static_mix.flash_bytes,
+                "f": self.static_mix.f,
+                "i": self.static_mix.i,
+                "m": self.static_mix.m,
+                "b": self.static_mix.b,
+            },
+            "measured": [
+                {"trace": trace.as_dict(), "valid": valid}
+                for trace, valid in self.measured
+            ],
+            "solve_s": self.solve_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelProfile":
+        version = data.get("format_version")
+        if version != PROFILE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported profile format version {version!r} "
+                f"(expected {PROFILE_FORMAT_VERSION})"
+            )
+        return cls(
+            kernel=data["kernel"],
+            scalar=data["scalar"],
+            seed=data["seed"],
+            reps=data["reps"],
+            warmup_reps=data["warmup_reps"],
+            dataset=data["dataset"],
+            stage=data["stage"],
+            work_units=data["work_units"],
+            footprint=Footprint(**data["footprint"]),
+            static_mix=StaticMix(**data["static_mix"]),
+            measured=[
+                (OpTrace(**entry["trace"]), bool(entry["valid"]))
+                for entry in data["measured"]
+            ],
+            solve_s=data.get("solve_s", 0.0),
+        )
+
+
+def solve_profile(
+    kernel: str,
+    factory_kwargs: dict,
+    reps: int,
+    warmup_reps: int,
+) -> KernelProfile:
+    """Run one kernel configuration for real and record its profile.
+
+    Mirrors the harness repetition loop: warm-up repetitions execute (they
+    advance any internal problem state) but only measured repetitions are
+    recorded, each with its own fresh :class:`OpCounter` snapshot and
+    validation verdict.
+    """
+    problem = registry.create(kernel, **factory_kwargs)
+    footprint = problem.footprint()
+    rng = np.random.default_rng(problem.seed)
+    problem.ensure_setup(rng)
+
+    measured: List[Tuple[OpTrace, bool]] = []
+    for rep in range(warmup_reps + reps):
+        counter = OpCounter()
+        solve_result = problem.solve(counter)
+        if rep >= warmup_reps:
+            measured.append(
+                (counter.snapshot(), bool(problem.validate(solve_result)))
+            )
+
+    return KernelProfile(
+        kernel=problem.name,
+        scalar=problem.scalar.name,
+        seed=problem.seed,
+        reps=reps,
+        warmup_reps=warmup_reps,
+        dataset=problem.dataset_name,
+        stage=problem.stage,
+        work_units=max(int(problem.work_units), 1),
+        footprint=footprint,
+        static_mix=problem.static_mix_base(),
+        measured=measured,
+    )
+
+
+def skip_result(
+    kernel: str,
+    scalar: str,
+    dataset: str,
+    stage: str,
+    footprint: Footprint,
+    arch: ArchSpec,
+    cache: CacheConfig,
+) -> BenchmarkResult:
+    """The does-not-fit result, byte-compatible with the harness's."""
+    fit = check_fit(footprint, arch)
+    result = BenchmarkResult(
+        kernel=kernel,
+        arch=arch.name,
+        cache=cache.label,
+        scalar=scalar,
+        dataset=dataset,
+        stage=stage,
+    )
+    result.fits = False
+    result.skip_reason = (
+        f"needs {fit.flash_used} B flash / {fit.sram_used} B SRAM; "
+        f"{arch.name} offers {fit.flash_available} / {fit.sram_available}"
+    )
+    return result
+
+
+def price_profile(
+    profile: KernelProfile,
+    arch: ArchSpec,
+    cache: CacheConfig,
+) -> BenchmarkResult:
+    """Re-price a solved profile on one (arch, cache state) cell.
+
+    Pure model math — no kernel compute.  The sequence of operations
+    matches :meth:`Harness.run` so the produced :class:`BenchmarkResult`
+    is bit-identical to a direct harness run of the same configuration.
+    """
+    fit = check_fit(profile.footprint, arch)
+    if not fit.fits:
+        return skip_result(
+            profile.kernel, profile.scalar, profile.dataset, profile.stage,
+            profile.footprint, arch, cache,
+        )
+
+    result = BenchmarkResult(
+        kernel=profile.kernel,
+        arch=arch.name,
+        cache=cache.label,
+        scalar=profile.scalar,
+        dataset=profile.dataset,
+        stage=profile.stage,
+    )
+    result.work_units = profile.work_units
+
+    scalar = parse_scalar(profile.scalar)
+    static = static_profile(profile.kernel, profile.static_mix, arch)
+    code_bytes = static.flash_bytes
+    data_bytes = profile.footprint.data_bytes
+    cache_model = CacheModel(arch, cache)
+    cache_activity = cache_model.activity(code_bytes, data_bytes)
+    pipeline = PipelineModel(arch)
+    energy = EnergyModel(arch)
+
+    for rep, (trace, valid) in enumerate(profile.measured):
+        breakdown = pipeline.cycles(trace, scalar, cache, code_bytes, data_bytes)
+        report = energy.report(trace, breakdown, cache_activity)
+        result.runs.append(
+            RunRecord(
+                rep=rep,
+                cycles=breakdown.total,
+                latency_s=report.latency_s,
+                energy_j=report.energy_j,
+                avg_power_w=report.avg_power_w,
+                peak_power_w=report.peak_power_w,
+                # Copy so records priced from one shared profile never
+                # alias a mutable trace across cells.
+                trace=trace.copy(),
+                valid=valid,
+            )
+        )
+    return result

@@ -1,0 +1,139 @@
+"""Content-addressed cache of solved kernel profiles.
+
+Keys are the :func:`~repro.engine.planner.solve_key` hash of (kernel name,
+canonical factory kwargs, scalar, seed, repetition counts) — any change to
+what a kernel would actually execute changes the key, so invalidation is
+automatic.  Two layers back the lookup:
+
+* an in-process dict, so one sweep never solves the same configuration
+  twice even without a cache directory;
+* an optional on-disk directory of ``<key>.json`` profile snapshots, so
+  repeated sweeps (CLI reruns, benchmark regenerations, test sessions)
+  hit disk instead of recomputing SIFT pyramids and RANSAC trials.
+
+Disk writes go through a temp file + atomic rename, so a killed sweep
+never leaves a torn cache entry; unreadable or version-mismatched entries
+are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.engine.profile import KernelProfile
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, surfaced through telemetry summaries."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class TraceCache:
+    """Two-level (memory + optional disk) store of kernel profiles."""
+
+    cache_dir: Optional[Union[str, Path]] = None
+    enabled: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: Dict[str, KernelProfile] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[KernelProfile]:
+        if not self.enabled:
+            return None
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        if path is not None and path.exists():
+            try:
+                profile = KernelProfile.from_dict(json.loads(path.read_text()))
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                # Torn, stale, or foreign file: treat as a miss; a fresh
+                # solve will overwrite it.
+                self.stats.misses += 1
+                return None
+            self._memory[key] = profile
+            self.stats.disk_hits += 1
+            return profile
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, profile: KernelProfile) -> None:
+        if not self.enabled:
+            return
+        self._memory[key] = profile
+        path = self._path(key)
+        if path is None:
+            return
+        payload = json.dumps(profile.to_dict(), separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        if not self.enabled:
+            return False
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        disk = (
+            len(list(self.cache_dir.glob("*.json")))
+            if self.cache_dir is not None
+            else 0
+        )
+        return max(len(self._memory), disk)

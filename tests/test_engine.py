@@ -1,0 +1,348 @@
+"""Tests for the sweep execution engine (`repro.engine`).
+
+Covers the engine's contract with the historical serial driver:
+
+* bit-identical results (parallel + warm cache vs `run_sweep_serial`),
+* zero kernel ``solve()`` calls on a warm-cache ``characterize_suite``
+  (verified by a counting test double),
+* content-address invalidation on changed factory kwargs and seed,
+* resume from a partially written checkpoint,
+* structured telemetry and the legacy progress-callback adapter,
+* the `SweepResults` index and `SweepSpec` config-aliasing fixes.
+"""
+
+import json
+
+import pytest
+
+from repro.core import experiment_io, registry
+from repro.core.config import HarnessConfig
+from repro.core.experiment import (
+    SweepResults,
+    SweepSpec,
+    characterize_suite,
+    run_sweep,
+    run_sweep_serial,
+)
+from repro.core.results import BenchmarkResult
+from repro.engine import (
+    EngineOptions,
+    Telemetry,
+    TraceCache,
+    build_plan,
+    run_sweep_engine,
+    solve_key,
+)
+from repro.mcu.arch import CHARACTERIZATION_ARCHS, M4, M33
+from repro.mcu.memory import MemoryFitError
+
+KERNELS = ["mahony", "p3p", "fly-lqr"]
+OVERRIDES = {"mahony": {"n_samples": 40}, "fly-lqr": {"n_steps": 40}}
+FAST = HarnessConfig(reps=2, warmup_reps=1)
+
+
+def small_spec(archs=(M4, M33), overrides=None):
+    return SweepSpec(
+        kernels=list(KERNELS),
+        archs=list(archs),
+        config=FAST,
+        overrides=dict(OVERRIDES if overrides is None else overrides),
+    )
+
+
+def install_solve_counter(monkeypatch, kernels, overrides=None):
+    """Wrap each kernel class's ``solve`` with a per-kernel call counter."""
+    overrides = overrides or {}
+    counts = {}
+    for name in kernels:
+        cls = type(registry.create(name, **overrides.get(name, {})))
+        counts[name] = 0
+        original = cls.solve
+
+        def counting(self, counter, _name=name, _orig=original):
+            counts[_name] += 1
+            return _orig(self, counter)
+
+        monkeypatch.setattr(cls, "solve", counting)
+    return counts
+
+
+class TestEquivalence:
+    def test_parallel_engine_matches_serial_bit_for_bit(self, tmp_path):
+        """jobs=2 + cold disk cache == the serial driver, cell for cell."""
+        spec = small_spec()
+        serial = run_sweep_serial(spec)
+        engine = run_sweep_engine(
+            spec, options=EngineOptions(jobs=2, cache_dir=tmp_path / "cache")
+        )
+        assert len(serial) == len(engine) == len(KERNELS) * 2 * 2
+        for expect, got in zip(serial.results, engine.results):
+            assert expect == got, (got.kernel, got.arch, got.cache)
+
+    def test_warm_cache_engine_matches_serial_bit_for_bit(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep_serial(spec)
+        run_sweep_engine(spec, options=EngineOptions(cache_dir=tmp_path / "cache"))
+
+        telemetry = Telemetry()
+        warm = run_sweep_engine(
+            spec,
+            options=EngineOptions(jobs=2, cache_dir=tmp_path / "cache"),
+            telemetry=telemetry,
+        )
+        for expect, got in zip(serial.results, warm.results):
+            assert expect == got, (got.kernel, got.arch, got.cache)
+        summary = telemetry.summary()
+        assert summary["solves_executed"] == 0
+        assert summary["cache_hit_rate"] == 1.0
+
+    def test_run_sweep_wrapper_is_engine_backed(self):
+        """The compatibility wrapper returns the engine's (deduped) results."""
+        spec = small_spec(archs=(M4,))
+        serial = run_sweep_serial(spec)
+        wrapped = run_sweep(spec)
+        assert serial.results == wrapped.results
+
+    def test_unfit_kernels_are_never_solved(self, monkeypatch):
+        """sift fits neither M4 nor M33: planned skips, zero compute."""
+        counts = install_solve_counter(monkeypatch, ["sift"])
+        spec = SweepSpec(kernels=["sift"], archs=[M4, M33], config=FAST)
+        serial = run_sweep_serial(spec)  # harness fit-checks before solving
+        engine = run_sweep_engine(spec)
+        assert counts["sift"] == 0
+        assert serial.results == engine.results
+        assert all(not r.fits and "SRAM" in r.skip_reason for r in engine.results)
+
+    def test_strict_memory_raises_before_solving(self, monkeypatch):
+        counts = install_solve_counter(monkeypatch, ["sift"])
+        spec = SweepSpec(
+            kernels=["sift"], archs=[M4],
+            config=HarnessConfig(reps=1, warmup_reps=0, strict_memory=True),
+        )
+        with pytest.raises(MemoryFitError):
+            run_sweep_engine(spec)
+        assert counts["sift"] == 0
+
+
+class TestWarmCharacterization:
+    def test_warm_characterize_suite_zero_solves(self, tmp_path, monkeypatch):
+        """Acceptance: >=3 kernels x 3 archs x 2 cache states from a warm
+        cache performs zero kernel solve() calls and matches the serial
+        path cell-for-cell (cycles, energy, peak power, validity)."""
+        cache_dir = tmp_path / "trace-cache"
+        archs = list(CHARACTERIZATION_ARCHS)
+        assert len(archs) == 3
+
+        serial = run_sweep_serial(SweepSpec(kernels=KERNELS, archs=archs, config=FAST))
+        characterize_suite(KERNELS, config=FAST, archs=archs, cache_dir=cache_dir)
+
+        counts = install_solve_counter(monkeypatch, KERNELS)
+        warm = characterize_suite(KERNELS, config=FAST, archs=archs,
+                                  cache_dir=cache_dir)
+
+        assert sum(counts.values()) == 0, counts
+        assert len(warm) == len(serial) == 3 * 3 * 2
+        for expect, got in zip(serial.results, warm.results):
+            assert (got.kernel, got.arch, got.cache) == \
+                (expect.kernel, expect.arch, expect.cache)
+            assert got.mean_cycles == expect.mean_cycles
+            assert got.mean_energy_j == expect.mean_energy_j
+            assert got.peak_power_w == expect.peak_power_w
+            assert got.all_valid == expect.all_valid
+            assert got == expect  # full bit-identity, runs and traces included
+
+
+class TestTraceCache:
+    def test_key_changes_with_kwargs_and_seed(self):
+        base = solve_key("mahony", {"n_samples": 40}, "f32", 0, 2, 1)
+        assert base == solve_key("mahony", {"n_samples": 40}, "f32", 0, 2, 1)
+        assert base != solve_key("mahony", {"n_samples": 41}, "f32", 0, 2, 1)
+        assert base != solve_key("mahony", {"n_samples": 40}, "f32", 7, 2, 1)
+        assert base != solve_key("mahony", {"n_samples": 40}, "q7.24", 0, 2, 1)
+        assert base != solve_key("mahony", {"n_samples": 40}, "f32", 0, 3, 1)
+        assert base != solve_key("madgwick", {"n_samples": 40}, "f32", 0, 2, 1)
+
+    def test_changed_kwargs_invalidate_warm_cache(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        spec = small_spec(archs=(M4,))
+        run_sweep_engine(spec, options=EngineOptions(cache_dir=cache_dir))
+
+        counts = install_solve_counter(monkeypatch, KERNELS, OVERRIDES)
+        # Same spec: pure cache hits.
+        run_sweep_engine(spec, options=EngineOptions(cache_dir=cache_dir))
+        assert sum(counts.values()) == 0
+
+        # Changed factory kwargs for one kernel: only that kernel re-solves.
+        changed = small_spec(
+            archs=(M4,),
+            overrides={"mahony": {"n_samples": 41}, "fly-lqr": {"n_steps": 40}},
+        )
+        run_sweep_engine(changed, options=EngineOptions(cache_dir=cache_dir))
+        reps_per_job = FAST.reps + FAST.warmup_reps
+        assert counts == {"mahony": reps_per_job, "p3p": 0, "fly-lqr": 0}
+
+        # Changed seed: re-solves again even with identical sizes.
+        reseeded = small_spec(
+            archs=(M4,),
+            overrides={**OVERRIDES, "p3p": {"seed": 9}},
+        )
+        run_sweep_engine(reseeded, options=EngineOptions(cache_dir=cache_dir))
+        assert counts["p3p"] == reps_per_job
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(cache_dir=tmp_path)
+        key = solve_key("mahony", {}, "f32", 0, 1, 0)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_no_cache_option_still_dedups_within_sweep(self, monkeypatch):
+        """use_cache=False disables persistence, not in-sweep grouping."""
+        counts = install_solve_counter(monkeypatch, KERNELS, OVERRIDES)
+        spec = small_spec()  # 2 archs x 2 caches = 4 cells per kernel
+        run_sweep_engine(spec, options=EngineOptions(use_cache=False))
+        reps_per_job = FAST.reps + FAST.warmup_reps
+        assert counts == {name: reps_per_job for name in KERNELS}
+
+
+class TestCheckpointResume:
+    def test_resume_after_partial_checkpoint(self, tmp_path, monkeypatch):
+        spec = small_spec(archs=(M4,))
+        checkpoint = tmp_path / "sweep.checkpoint.jsonl"
+        full = run_sweep_engine(
+            spec, options=EngineOptions(use_cache=False, checkpoint=checkpoint)
+        )
+
+        # Simulate a kill: keep the header and every completed cell except
+        # p3p's, as if the sweep died mid-way.
+        lines = checkpoint.read_text().splitlines()
+        kept = [lines[0]] + [
+            line for line in lines[1:] if json.loads(line)["cell"][0] != "p3p"
+        ]
+        assert len(kept) == 1 + 2 * 2  # header + 2 kernels x 2 cache states
+        checkpoint.write_text("\n".join(kept) + "\n")
+
+        counts = install_solve_counter(monkeypatch, KERNELS, OVERRIDES)
+        telemetry = Telemetry()
+        resumed = run_sweep_engine(
+            spec,
+            options=EngineOptions(
+                use_cache=False, checkpoint=checkpoint, resume=True
+            ),
+            telemetry=telemetry,
+        )
+
+        # Only the missing kernel re-solved; completed cells replayed.
+        reps_per_job = FAST.reps + FAST.warmup_reps
+        assert counts == {"mahony": 0, "p3p": reps_per_job, "fly-lqr": 0}
+        summary = telemetry.summary()
+        assert summary["cells_resumed"] == 4
+        assert summary["cells_run"] == 2
+        assert resumed.results == full.results
+
+        # After the resumed run the checkpoint is complete again.
+        done = experiment_io.load_checkpoint(checkpoint, build_plan(spec).fingerprint())
+        assert len(done) == len(spec.kernels) * 2
+
+    def test_resume_tolerates_torn_tail(self, tmp_path):
+        spec = small_spec(archs=(M4,))
+        checkpoint = tmp_path / "ck.jsonl"
+        run_sweep_engine(
+            spec, options=EngineOptions(use_cache=False, checkpoint=checkpoint)
+        )
+        # A kill mid-write leaves a torn final line.
+        torn = checkpoint.read_text()[:-40]
+        checkpoint.write_text(torn)
+        resumed = run_sweep_engine(
+            spec,
+            options=EngineOptions(use_cache=False, checkpoint=checkpoint, resume=True),
+        )
+        serial = run_sweep_serial(spec)
+        assert resumed.results == serial.results
+
+    def test_resume_rejects_mismatched_plan(self, tmp_path):
+        checkpoint = tmp_path / "ck.jsonl"
+        run_sweep_engine(
+            small_spec(archs=(M4,)),
+            options=EngineOptions(use_cache=False, checkpoint=checkpoint),
+        )
+        other = small_spec(archs=(M4, M33))
+        with pytest.raises(ValueError, match="does not match"):
+            run_sweep_engine(
+                other,
+                options=EngineOptions(
+                    use_cache=False, checkpoint=checkpoint, resume=True
+                ),
+            )
+
+
+class TestTelemetry:
+    def test_event_stream_and_summary(self):
+        telemetry = Telemetry()
+        run_sweep_engine(small_spec(archs=(M4,)), telemetry=telemetry)
+        kinds = [e.kind for e in telemetry.events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+        assert kinds.count("solve_started") == kinds.count("solve_finished") == 3
+        assert kinds.count("cell_finished") == len(KERNELS) * 2
+        summary = telemetry.summary()
+        assert summary["cells_total"] == len(KERNELS) * 2
+        assert summary["solves_executed"] == 3
+        assert summary["wall_s"] > 0
+        assert summary["serial_estimate_s"] > 0
+        assert set(summary["stage_wall_s"]) == {"solve", "price"}
+
+    def test_legacy_progress_lines_preserved(self):
+        spec = small_spec(archs=(M4,))
+        legacy, engine_lines = [], []
+        run_sweep_serial(spec, progress=legacy.append)
+        run_sweep(spec, progress=engine_lines.append)
+        assert legacy == engine_lines
+        assert len(legacy) == len(KERNELS) * 2
+
+    def test_telemetry_json_roundtrip(self, tmp_path):
+        telemetry = Telemetry()
+        run_sweep_engine(small_spec(archs=(M4,)), telemetry=telemetry)
+        path = experiment_io.save_telemetry_json(
+            telemetry.summary(), experiment_io.telemetry_path_for(tmp_path / "r.json")
+        )
+        assert path.name == "r.telemetry.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["cells_run"] == len(KERNELS) * 2
+        assert 0.0 <= loaded["cache_hit_rate"] <= 1.0
+
+
+class TestSatelliteFixes:
+    def test_sweep_results_index_matches_linear_scan(self):
+        results = run_sweep_engine(small_spec())
+        for r in results.results:
+            assert results.get(r.kernel, r.arch, r.cache) is not None
+        hit = results.get("mahony", "m4", "C")
+        scan = next(
+            r for r in results.results
+            if (r.kernel, r.arch, r.cache) == ("mahony", "m4", "C")
+        )
+        assert hit is scan
+        assert results.get("mahony", "m4", "C", scalar="f32") is scan
+        assert results.get("mahony", "m4", "C", scalar="q7.24") is None
+        assert results.get("nope", "m4", "C") is None
+
+    def test_sweep_results_index_survives_direct_append(self):
+        results = SweepResults()
+        r = BenchmarkResult(kernel="k", arch="m4", cache="C", scalar="f32",
+                            dataset="d", stage="P")
+        results.results.append(r)  # bypasses add(); index must self-heal
+        assert results.get("k", "m4", "C") is r
+
+    def test_sweep_spec_configs_not_aliased(self):
+        a = SweepSpec(kernels=["mahony"])
+        b = SweepSpec(kernels=["p3p"])
+        assert a.config == b.config
+        assert a.config is not b.config
+
+    def test_plan_dedup_accounting(self):
+        plan = build_plan(small_spec())
+        assert len(plan.cells) == len(KERNELS) * 2 * 2
+        assert len(plan.jobs) == len(KERNELS)
+        # 4 cells per kernel, solved once each: 3 x 3 executions saved.
+        assert plan.n_solves_saved == len(KERNELS) * 3
