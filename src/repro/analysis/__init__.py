@@ -1,5 +1,19 @@
 """Analysis layer: assembly of every paper table and figure."""
 
-from repro.analysis import attitude_study, flops, perception_study, relpose_study, tables
+from repro.analysis import (
+    attitude_study,
+    flops,
+    perception_study,
+    relpose_study,
+    resilience_study,
+    tables,
+)
 
-__all__ = ["attitude_study", "flops", "perception_study", "relpose_study", "tables"]
+__all__ = [
+    "attitude_study",
+    "flops",
+    "perception_study",
+    "relpose_study",
+    "resilience_study",
+    "tables",
+]

@@ -9,6 +9,8 @@ Mirrors the artifact's make-target workflow with subcommands::
         --out results.json                     # engine: parallel + cached
     python -m repro tables --table 4           # regenerate a paper table
     python -m repro mission hover --arch m33   # closed-loop evaluation
+    python -m repro faults --fault brownout --mission hover \
+        --severities 0.25,0.5,1.0 --out resilience.json
 """
 
 from __future__ import annotations
@@ -178,6 +180,59 @@ def _cmd_mission(args) -> int:
     return 0 if result.completed else 1
 
 
+def _cmd_faults(args) -> int:
+    from repro.engine import Telemetry
+    from repro.faults import (
+        FaultCampaignSpec,
+        build_report,
+        fault_names,
+        get_fault,
+        render_report,
+        run_campaign,
+        save_report,
+    )
+
+    if args.list:
+        print(f"{'fault':16s} {'seams':22s} summary")
+        print("-" * 76)
+        for name in fault_names():
+            fault = get_fault(name)
+            print(f"{name:16s} {'/'.join(fault.kinds):22s} {fault.summary}")
+        return 0
+    if args.fault is None:
+        print("--fault is required (or --list)", file=sys.stderr)
+        return 2
+
+    severities = tuple(float(s) for s in args.severities.split(","))
+    missions = tuple(args.mission.split(",")) if args.mission else ()
+    kernels = tuple(args.kernels.split(",")) if args.kernels else ()
+    if not missions and not kernels:
+        print("nothing to do: give --mission and/or --kernels",
+              file=sys.stderr)
+        return 2
+    spec = FaultCampaignSpec(
+        fault=args.fault,
+        severities=severities,
+        missions=missions,
+        kernels=kernels,
+        archs=tuple(args.archs.split(",")),
+        seed=args.seed,
+        reps=args.reps,
+    )
+    telemetry = Telemetry()
+    campaign = run_campaign(
+        spec, jobs=args.jobs,
+        options=_engine_options(args) if kernels else None,
+        telemetry=telemetry,
+    )
+    report = build_report(campaign)
+    print(render_report(report))
+    if args.out:
+        path = save_report(report, args.out)
+        print(f"\nsaved: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -226,6 +281,34 @@ def build_parser() -> argparse.ArgumentParser:
     mission.add_argument("mission", choices=("hover", "waypoints", "steer"))
     mission.add_argument("--arch", default="m33", choices=sorted(ARCHS))
 
+    faults = sub.add_parser(
+        "faults", help="fault-injection campaign with resilience report"
+    )
+    faults.add_argument("--list", action="store_true",
+                        help="list registered fault models and exit")
+    faults.add_argument("--fault", default=None,
+                        help="fault model name (see --list)")
+    faults.add_argument("--mission", default=None,
+                        help="comma-separated missions (hover,waypoints,steer)")
+    faults.add_argument("--kernels", default=None,
+                        help="comma-separated kernels for the static grid")
+    faults.add_argument("--severities", default="0.25,0.5,0.75,1.0",
+                        help="comma-separated severities in [0,1]; "
+                             "the 0 baseline is always included")
+    faults.add_argument("--archs", default="m33",
+                        help="comma-separated cores (default: m33)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (per-cell seeds derive from it)")
+    faults.add_argument("--reps", type=int, default=1)
+    faults.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers for solves and mission cells")
+    faults.add_argument("--cache-dir", default=None,
+                        help="persistent trace-cache directory")
+    faults.add_argument("--no-cache", action="store_true",
+                        help="disable the trace cache")
+    faults.add_argument("--out", default=None,
+                        help="write the resilience report JSON here")
+
     return parser
 
 
@@ -237,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "tables": _cmd_tables,
         "mission": _cmd_mission,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

@@ -12,7 +12,11 @@ from repro.closedloop.missions import (
     SteeringCourse,
     WaypointMission,
 )
-from repro.closedloop.runner import FlappingWingRunner, StriderRunner
+from repro.closedloop.runner import (
+    FlappingWingRunner,
+    MissionFaultHook,
+    StriderRunner,
+)
 from repro.closedloop.simulator import FlappingWingBody, WaterStrider
 
 __all__ = [
@@ -21,6 +25,7 @@ __all__ = [
     "SteeringCourse",
     "WaypointMission",
     "FlappingWingRunner",
+    "MissionFaultHook",
     "StriderRunner",
     "FlappingWingBody",
     "WaterStrider",

@@ -32,10 +32,29 @@ class MissionResult:
     deadline_hit_rate: float
     #: Effective control rate actually achieved (Hz).
     effective_rate_hz: float
+    #: Control steps whose compute overran the loop period.
+    overruns: int = 0
+    #: Worst single-step compute latency observed (s).
+    worst_latency_s: float = 0.0
+    #: Fault that terminated the mission early (e.g. "brownout_reset"),
+    #: None when the mission ran to its natural end or aborted on error.
+    aborted_by: Optional[str] = None
+    #: Fault injections that occurred during the mission.
+    fault_events: int = 0
 
     @property
     def compute_energy_mj(self) -> float:
         return self.compute_energy_j * 1e3
+
+    @property
+    def time_to_failure_s(self) -> Optional[float]:
+        """Mission time at which flight was lost (None if completed)."""
+        return None if self.completed else self.duration_s
+
+    @property
+    def energy_to_abort_j(self) -> Optional[float]:
+        """Compute energy burned before losing flight (None if completed)."""
+        return None if self.completed else self.compute_energy_j
 
 
 @dataclass

@@ -20,7 +20,7 @@ between — exactly how a bare-metal control loop behaves when it overruns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -54,6 +54,11 @@ class ComputeLog:
     latency_sum_s: float = 0.0
     steps: int = 0
     deadline_hits: int = 0
+    #: Control steps whose compute exceeded the loop period, and the worst
+    #: single-step latency seen — the attribution data overrun-degradation
+    #: telemetry reports.
+    overruns: int = 0
+    worst_latency_s: float = 0.0
 
     def record(self, latency_s: float, energy_j: float, period_s: float) -> None:
         self.energy_j += energy_j
@@ -61,6 +66,9 @@ class ComputeLog:
         self.steps += 1
         if latency_s <= period_s:
             self.deadline_hits += 1
+        else:
+            self.overruns += 1
+        self.worst_latency_s = max(self.worst_latency_s, latency_s)
 
     @property
     def mean_latency_s(self) -> float:
@@ -69,6 +77,68 @@ class ComputeLog:
     @property
     def deadline_hit_rate(self) -> float:
         return self.deadline_hits / max(self.steps, 1)
+
+
+class MissionFaultHook:
+    """Per-step fault-injection interface the mission runners accept.
+
+    The runners stay ignorant of fault semantics: a hook (usually built by
+    ``repro.faults``) transforms sensor readings, adjusts the priced
+    (latency, energy) of a control step, and may declare the platform dead
+    (a brownout reset).  This no-op base doubles as the protocol
+    definition; with ``fault_hook=None`` the runners' arithmetic is
+    bit-identical to the fault-free original.
+    """
+
+    #: Injection event dicts appended by subclasses (step, kind, ...).
+    events: List[dict]
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def log(self, kind: str, step: int, t: float, **detail) -> dict:
+        event = {"kind": kind, "step": step, "t_s": round(t, 9), **detail}
+        self.events.append(event)
+        return event
+
+    def on_imu(self, step: int, t: float, gyro, accel):
+        """Transform one IMU sample (flapping-wing stack)."""
+        return gyro, accel
+
+    def on_heading(self, step: int, t: float, heading: float, rate: float):
+        """Transform one compass/gyro-z sample (strider stack)."""
+        return heading, rate
+
+    def on_price(self, step: int, t: float, latency_s: float, energy_j: float):
+        """Adjust the priced cost of one control step (throttle, sag...)."""
+        return latency_s, energy_j
+
+    def abort_reason(self, step: int, t: float) -> Optional[str]:
+        """Non-None kills the platform at this instant (brownout reset)."""
+        return None
+
+
+def _emit_mission_telemetry(telemetry, mission_name: str, arch_name: str,
+                            log: ComputeLog, fault_hook) -> None:
+    """Overrun attribution + per-injection events, if a collector listens."""
+    if telemetry is None:
+        return
+    telemetry.emit(
+        "overrun_degraded",
+        kernel=mission_name,
+        arch=arch_name,
+        count=log.overruns,
+        worst_latency_us=round(log.worst_latency_s * 1e6, 3),
+        steps=log.steps,
+    )
+    if fault_hook is not None:
+        for event in fault_hook.events:
+            detail = dict(event)
+            fault_kind = detail.pop("kind", "")
+            telemetry.emit(
+                "fault_injected", kernel=mission_name, arch=arch_name,
+                fault=fault_kind, **detail,
+            )
 
 
 class _StepPricer:
@@ -113,8 +183,11 @@ class FlappingWingRunner:
         kr: float = 3.2e-5,
         kw: float = 2.9e-7,
         seed: int = 0,
+        fault_hook: Optional[MissionFaultHook] = None,
+        telemetry=None,
     ):
         self.pricer = _StepPricer(arch, cache, scalar)
+        self.arch = arch
         self.control_period = 1.0 / control_rate_hz
         self.physics_dt = physics_dt
         self.seed = seed
@@ -123,6 +196,8 @@ class FlappingWingRunner:
         self.kr = kr
         self.kw = kw
         self.scalar = scalar
+        self.fault_hook = fault_hook
+        self.telemetry = telemetry
 
     def run(self, mission: HoverMission) -> MissionResult:
         body = FlappingWingBody(seed=self.seed)
@@ -131,16 +206,21 @@ class FlappingWingRunner:
         ctrl = GeometricController(mass=body.mass, kx=self.kx, kv=self.kv,
                                    kr=self.kr, kw=self.kw)
         log = ComputeLog()
+        hook = self.fault_hook
         errors = []
         tilts = []
         thrust, moment = body.mass * 9.81, np.zeros(3)
         next_control_t = 0.0
+        step_idx = 0
+        aborted_by: Optional[str] = None
 
         t = 0.0
         while t < mission.duration_s:
             if t >= next_control_t:
                 counter = OpCounter()
                 gyro, accel = body.read_imu()
+                if hook is not None:
+                    gyro, accel = hook.on_imu(step_idx, t, gyro, accel)
                 filt.update(gyro, accel, None, self.control_period, counter)
                 r_est = _quat_to_matrix(filt.quaternion())
                 ref = mission.reference(t)
@@ -152,10 +232,19 @@ class FlappingWingRunner:
                 thrust = float(np.clip(cmd.thrust, 0.0, 2.5 * body.mass * 9.81))
                 moment = np.clip(cmd.moment, -6e-6, 6e-6)
                 latency_s, energy_j = self.pricer.price(counter)
+                if hook is not None:
+                    latency_s, energy_j = hook.on_price(
+                        step_idx, t, latency_s, energy_j
+                    )
                 log.record(latency_s, energy_j, self.control_period)
                 # Compute-limited rate: the next update can't start before
                 # this one's computation has finished.
                 next_control_t = t + max(self.control_period, latency_s)
+                if hook is not None:
+                    aborted_by = hook.abort_reason(step_idx, t)
+                step_idx += 1
+            if aborted_by is not None:
+                break
             body.step(thrust, moment, self.physics_dt)
             t += self.physics_dt
             err = float(np.linalg.norm(body.state.pos - mission.reference(t)))
@@ -170,9 +259,11 @@ class FlappingWingRunner:
         # steady-state attitude must settle.
         steady_tilt = float(np.mean(tilts[len(tilts) // 2 :])) if tilts else np.inf
         attitude_ok = steady_tilt <= mission.max_steady_tilt_rad
+        _emit_mission_telemetry(self.telemetry, mission.name, self.arch.name,
+                                log, hook)
         return MissionResult(
             name=mission.name,
-            completed=score["completed"] and attitude_ok,
+            completed=score["completed"] and attitude_ok and aborted_by is None,
             duration_s=t,
             path_error_rms_m=score["rms"],
             path_error_max_m=score["max"],
@@ -180,6 +271,10 @@ class FlappingWingRunner:
             compute_latency_s=log.mean_latency_s,
             deadline_hit_rate=log.deadline_hit_rate,
             effective_rate_hz=log.steps / max(t, 1e-9),
+            overruns=log.overruns,
+            worst_latency_s=log.worst_latency_s,
+            aborted_by=aborted_by,
+            fault_events=len(hook.events) if hook is not None else 0,
         )
 
 
@@ -196,22 +291,30 @@ class StriderRunner:
         surge_force: float = 1.2e-3,
         torque_scale: float = 4.0e-8,
         seed: int = 0,
+        fault_hook: Optional[MissionFaultHook] = None,
+        telemetry=None,
     ):
         self.pricer = _StepPricer(arch, cache, scalar)
+        self.arch = arch
         self.control_period = 1.0 / control_rate_hz
         self.physics_dt = physics_dt
         self.surge_force = surge_force
         self.torque_scale = torque_scale
         self.seed = seed
+        self.fault_hook = fault_hook
+        self.telemetry = telemetry
 
     def run(self, mission: SteeringCourse) -> MissionResult:
         strider = WaterStrider(seed=self.seed)
         strider.reset()
         ctrl = SlidingModeAdaptiveController(lam=10.0, eta=1.5, gamma=0.2)
         log = ComputeLog()
+        hook = self.fault_hook
         errors = []
         yaw_torque = 0.0
         next_control_t = 0.0
+        step_idx = 0
+        aborted_by: Optional[str] = None
 
         t = 0.0
         while t < mission.duration_s:
@@ -219,6 +322,8 @@ class StriderRunner:
                 counter = OpCounter()
                 heading = strider.read_compass()
                 rate = strider.read_gyro_z()
+                if hook is not None:
+                    heading, rate = hook.on_heading(step_idx, t, heading, rate)
                 ref = mission.reference(t)
                 ref_rate = (mission.reference(t + 1e-3) - ref) / 1e-3
                 err = np.array([heading - ref, 0.0, 0.0])
@@ -228,8 +333,17 @@ class StriderRunner:
                     cmd.u[0] * self.torque_scale, -3e-7, 3e-7
                 ))
                 latency_s, energy_j = self.pricer.price(counter)
+                if hook is not None:
+                    latency_s, energy_j = hook.on_price(
+                        step_idx, t, latency_s, energy_j
+                    )
                 log.record(latency_s, energy_j, self.control_period)
                 next_control_t = t + max(self.control_period, latency_s)
+                if hook is not None:
+                    aborted_by = hook.abort_reason(step_idx, t)
+                step_idx += 1
+            if aborted_by is not None:
+                break
             strider.step(self.surge_force, yaw_torque, self.physics_dt)
             t += self.physics_dt
             err_now = abs(strider.state.heading - mission.reference(t))
@@ -239,9 +353,11 @@ class StriderRunner:
 
         score = score_trajectory(np.array(errors), mission.abort_error_rad,
                                  mission.success_rms_rad)
+        _emit_mission_telemetry(self.telemetry, mission.name, self.arch.name,
+                                log, hook)
         return MissionResult(
             name=mission.name,
-            completed=score["completed"],
+            completed=score["completed"] and aborted_by is None,
             duration_s=t,
             path_error_rms_m=score["rms"],
             path_error_max_m=score["max"],
@@ -249,6 +365,10 @@ class StriderRunner:
             compute_latency_s=log.mean_latency_s,
             deadline_hit_rate=log.deadline_hit_rate,
             effective_rate_hz=log.steps / max(t, 1e-9),
+            overruns=log.overruns,
+            worst_latency_s=log.worst_latency_s,
+            aborted_by=aborted_by,
+            fault_events=len(hook.events) if hook is not None else 0,
         )
 
 

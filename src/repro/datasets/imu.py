@@ -106,6 +106,28 @@ class ImuSequence:
             max(np.abs(self.gyro).max(), np.abs(self.accel).max(), np.abs(self.mag).max())
         )
 
+    def with_sensors(
+        self,
+        gyro: "np.ndarray | None" = None,
+        accel: "np.ndarray | None" = None,
+        mag: "np.ndarray | None" = None,
+        name: "str | None" = None,
+    ) -> "ImuSequence":
+        """Copy with sensor channels replaced, ground truth untouched.
+
+        The seam sensor-fault injectors (``repro.faults.sensors``) use:
+        corrupted datasets keep the clean reference quaternions, so
+        attitude error under faults is still measured against the truth.
+        """
+        return ImuSequence(
+            name=name if name is not None else self.name,
+            dt=self.dt,
+            gyro=gyro if gyro is not None else self.gyro,
+            accel=accel if accel is not None else self.accel,
+            mag=mag if mag is not None else self.mag,
+            truth=self.truth,
+        )
+
 
 def _euler_trajectory_to_sequence(
     name: str,

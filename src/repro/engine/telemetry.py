@@ -30,6 +30,15 @@ EVENT_KINDS = (
     "cell_skipped",
     "cell_resumed",
     "sweep_finished",
+    # Fault-campaign lifecycle (repro.faults): campaign bracketing, one
+    # event per mission cell, one per injected fault occurrence, and the
+    # closed-loop runner's overrun-degradation attribution event.
+    "campaign_started",
+    "campaign_finished",
+    "mission_started",
+    "mission_finished",
+    "fault_injected",
+    "overrun_degraded",
 )
 
 

@@ -1,0 +1,99 @@
+"""Fault-injector registry and the injector contract.
+
+A *fault model* turns a severity in ``[0, 1]`` into concrete adversity at
+one (or both) of two seams:
+
+* **arch** — a static derated operating point: the model returns a derived
+  :class:`~repro.mcu.arch.ArchSpec` (throttled clock, sagged power spec,
+  inflated CPI) that the whole pricing stack — pipeline, cache, energy,
+  the sweep engine — threads through unchanged.  Kernel-level fault
+  campaigns are therefore ordinary engine sweeps: one solve per kernel,
+  re-priced across every severity.
+* **mission** — a time-varying, per-step hook
+  (:class:`~repro.closedloop.runner.MissionFaultHook`) the closed-loop
+  runners call on every control step: sensor corruption, sag schedules,
+  overrun storms, brownout resets.
+
+Every model is deterministic given ``(severity, seed)``: all randomness
+draws from a ``numpy.random.Generator`` seeded at hook construction, never
+from module-level state, so campaigns are byte-reproducible across runs
+and across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.mcu.arch import ArchSpec
+
+
+def check_severity(severity: float) -> float:
+    """Validate and return a severity level in [0, 1]."""
+    severity = float(severity)
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError(f"fault severity must be in [0, 1], got {severity!r}")
+    return severity
+
+
+class FaultModel:
+    """Base injector: subclasses implement the seams they support.
+
+    ``kinds`` declares the seams: "arch" (static operating-point derating
+    for kernel sweeps), "mission" (per-step closed-loop hook), "sensors"
+    (offline dataset corruption), "probes" (measurement-chain filters).
+    """
+
+    #: Registry name, e.g. "brownout".
+    name: str = ""
+    #: Seams this model supports.
+    kinds: Tuple[str, ...] = ()
+    #: One-line description shown by the CLI.
+    summary: str = ""
+
+    def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        """Static worst-case operating point of ``arch`` at ``severity``.
+
+        Severity 0 must return ``arch`` itself (the no-fault path stays
+        bit-identical to a faultless sweep).
+        """
+        raise NotImplementedError(f"{self.name} has no arch seam")
+
+    def mission_hook(
+        self,
+        severity: float,
+        seed: int,
+        duration_s: float,
+        control_period_s: float,
+    ):
+        """Per-step hook for one mission run (None at severity 0)."""
+        raise NotImplementedError(f"{self.name} has no mission seam")
+
+    def arch_label(self, arch: ArchSpec, severity: float) -> str:
+        """Cell label for a derated arch, e.g. ``m33+brownout:0.5``."""
+        return f"{arch.name}+{self.name}:{severity:g}"
+
+
+#: The injector registry.
+FAULTS: Dict[str, FaultModel] = {}
+
+
+def register(model: FaultModel) -> FaultModel:
+    """Register a fault model under its name (last registration wins)."""
+    if not model.name:
+        raise ValueError("fault model must define a name")
+    FAULTS[model.name] = model
+    return model
+
+
+def get_fault(name: str) -> FaultModel:
+    """Look up a fault model by registry name."""
+    try:
+        return FAULTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault {name!r}; available: {sorted(FAULTS)}"
+        ) from None
+
+
+def fault_names() -> Tuple[str, ...]:
+    return tuple(sorted(FAULTS))

@@ -1,0 +1,347 @@
+"""Deterministic fault-campaign planner and executor.
+
+A campaign expands ``(kernel | mission) x severity`` grids for one fault
+model into concrete work and executes it:
+
+* **kernel cells** become one ordinary engine sweep over *derated arch
+  variants* (``m33+brownout:0.5``).  Because the engine's solve key
+  ignores the arch, each kernel's real compute runs **once** and is
+  re-priced across every severity — a ten-severity brownout sweep costs
+  one solve per kernel, exactly like the ten-core sweep it structurally
+  is.
+* **mission cells** run the closed-loop stack with the fault's per-step
+  :class:`~repro.closedloop.runner.MissionFaultHook`, fanned out across a
+  process pool when ``jobs > 1``.
+
+Determinism contract: every cell's seed derives from
+``SeedSequence([campaign_seed, cell_index])``; workers return plain
+dicts; results are collated in cell order regardless of completion order.
+The same spec therefore produces byte-identical campaign records across
+runs *and* across worker counts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.base import FaultModel, check_severity, get_fault
+
+#: Mission registry: name -> (runner factory, mission factory).
+MISSION_NAMES = ("hover", "waypoints", "steer")
+
+
+def _make_mission(name: str):
+    from repro.closedloop import HoverMission, SteeringCourse, WaypointMission
+
+    if name == "hover":
+        return HoverMission()
+    if name == "waypoints":
+        return WaypointMission()
+    if name == "steer":
+        return SteeringCourse()
+    raise KeyError(f"unknown mission {name!r}; available: {MISSION_NAMES}")
+
+
+def _make_runner(mission_name: str, arch_name: str, fault_hook, telemetry=None):
+    from repro.closedloop import FlappingWingRunner, StriderRunner
+    from repro.mcu.arch import get_arch
+
+    arch = get_arch(arch_name)
+    if mission_name == "steer":
+        return StriderRunner(arch=arch, fault_hook=fault_hook,
+                             telemetry=telemetry)
+    return FlappingWingRunner(arch=arch, fault_hook=fault_hook,
+                              telemetry=telemetry)
+
+
+def _control_period_s(mission_name: str) -> float:
+    return 1.0 / (200.0 if mission_name == "steer" else 2000.0)
+
+
+@dataclass(frozen=True)
+class FaultCampaignSpec:
+    """One fault, a severity grid, and the cells to subject to it."""
+
+    fault: str
+    severities: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+    missions: Tuple[str, ...] = ()
+    kernels: Tuple[str, ...] = ()
+    archs: Tuple[str, ...] = ("m33",)
+    seed: int = 0
+    reps: int = 1
+    warmup: int = 0
+
+    def severity_grid(self) -> Tuple[float, ...]:
+        """Sorted unique severities, always anchored by the 0 baseline.
+
+        Every degradation curve needs its fault-free reference point, so
+        severity 0 is implied even when the caller does not list it.
+        """
+        return tuple(sorted({0.0} | {check_severity(s) for s in self.severities}))
+
+
+@dataclass(frozen=True)
+class MissionCell:
+    """One planned closed-loop run: (mission, arch, severity, seed)."""
+
+    index: int
+    mission: str
+    arch: str
+    severity: float
+    seed: int
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured, in deterministic cell order."""
+
+    fault: str
+    seed: int
+    severities: Tuple[float, ...]
+    #: One record per (kernel, arch, severity): priced static derating.
+    kernel_grid: List[dict] = field(default_factory=list)
+    #: One record per (mission, arch, severity): closed-loop outcome.
+    mission_grid: List[dict] = field(default_factory=list)
+
+
+def _cell_seed(campaign_seed: int, index: int) -> int:
+    """Stable per-cell seed: independent of worker count and run order."""
+    return int(np.random.SeedSequence([campaign_seed, index]).generate_state(1)[0])
+
+
+def plan_mission_cells(spec: FaultCampaignSpec) -> List[MissionCell]:
+    """The mission grid in canonical order (mission, arch, severity)."""
+    cells: List[MissionCell] = []
+    for mission in spec.missions:
+        if mission not in MISSION_NAMES:
+            raise KeyError(
+                f"unknown mission {mission!r}; available: {MISSION_NAMES}"
+            )
+        for arch in spec.archs:
+            for severity in spec.severity_grid():
+                index = len(cells)
+                cells.append(MissionCell(
+                    index=index, mission=mission, arch=arch,
+                    severity=severity,
+                    seed=_cell_seed(spec.seed, index),
+                ))
+    return cells
+
+
+def _mission_worker(payload: tuple) -> dict:
+    """Process-pool entry point: run one mission cell, return a plain dict.
+
+    Must stay top-level (picklable) and fully deterministic in its
+    payload: the returned record is byte-identical however many workers
+    the campaign ran with.
+    """
+    fault_name, mission_name, arch_name, severity, seed = payload
+    import repro.faults  # ensure the registry is populated in the worker
+
+    fault = get_fault(fault_name)
+    mission = _make_mission(mission_name)
+    hook = None
+    if severity > 0.0 and "mission" in fault.kinds:
+        hook = fault.mission_hook(
+            severity, seed, mission.duration_s, _control_period_s(mission_name)
+        )
+    runner = _make_runner(mission_name, arch_name, hook)
+    result = runner.run(mission)
+    return {
+        "mission": mission_name,
+        "arch": arch_name,
+        "severity": severity,
+        "seed": seed,
+        "completed": bool(result.completed),
+        "duration_s": float(result.duration_s),
+        "path_error_rms": float(result.path_error_rms_m),
+        "path_error_max": float(result.path_error_max_m),
+        "compute_energy_j": float(result.compute_energy_j),
+        "compute_latency_s": float(result.compute_latency_s),
+        "deadline_hit_rate": float(result.deadline_hit_rate),
+        "effective_rate_hz": float(result.effective_rate_hz),
+        "overruns": int(result.overruns),
+        "worst_latency_s": float(result.worst_latency_s),
+        "aborted_by": result.aborted_by,
+        "fault_events": int(result.fault_events),
+        "time_to_failure_s": (
+            None if result.time_to_failure_s is None
+            else float(result.time_to_failure_s)
+        ),
+        "energy_to_abort_j": (
+            None if result.energy_to_abort_j is None
+            else float(result.energy_to_abort_j)
+        ),
+        "events": list(hook.events) if hook is not None else [],
+    }
+
+
+def run_mission_grid(
+    spec: FaultCampaignSpec,
+    jobs: int = 1,
+    telemetry=None,
+) -> List[dict]:
+    """Execute the mission cells, collated in canonical cell order."""
+    cells = plan_mission_cells(spec)
+    if not cells:
+        return []
+    payloads = [
+        (spec.fault, c.mission, c.arch, c.severity, c.seed) for c in cells
+    ]
+    if telemetry is not None:
+        for c in cells:
+            telemetry.emit("mission_started", kernel=c.mission, arch=c.arch,
+                           severity=c.severity)
+    if jobs > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            # map() preserves input order: collation is worker-count-proof.
+            records = list(pool.map(_mission_worker, payloads))
+    else:
+        records = [_mission_worker(p) for p in payloads]
+    if telemetry is not None:
+        for record in records:
+            telemetry.emit(
+                "overrun_degraded",
+                kernel=record["mission"], arch=record["arch"],
+                count=record["overruns"],
+                worst_latency_us=round(record["worst_latency_s"] * 1e6, 3),
+                steps=0,
+            )
+            for event in record["events"]:
+                detail = dict(event)
+                fault_kind = detail.pop("kind", "")
+                telemetry.emit(
+                    "fault_injected",
+                    kernel=record["mission"], arch=record["arch"],
+                    fault=fault_kind, severity=record["severity"], **detail,
+                )
+            telemetry.emit(
+                "mission_finished",
+                kernel=record["mission"], arch=record["arch"],
+                severity=record["severity"],
+                completed=record["completed"],
+                aborted_by=record["aborted_by"],
+            )
+    return records
+
+
+def run_kernel_grid(
+    spec: FaultCampaignSpec,
+    fault: FaultModel,
+    options=None,
+    telemetry=None,
+) -> List[dict]:
+    """Price the kernels at every derated operating point via the engine."""
+    if not spec.kernels:
+        return []
+    if "arch" not in fault.kinds:
+        raise ValueError(
+            f"fault {fault.name!r} has no arch seam; it cannot derate "
+            f"kernel sweeps (kinds: {fault.kinds})"
+        )
+    from repro.core.config import HarnessConfig
+    from repro.core.experiment import SweepSpec
+    from repro.engine import run_sweep_engine
+    from repro.mcu.arch import get_arch
+    from repro.mcu.cache import CACHE_ON
+
+    # One derated ArchSpec per (arch, severity); severity 0 is the base
+    # arch object itself, so the fault-free column prices bit-identically
+    # to a plain sweep.
+    base_archs = [get_arch(a) for a in spec.archs]
+    sweep_archs = []
+    label_of: Dict[Tuple[str, float], str] = {}
+    for arch in base_archs:
+        for severity in spec.severity_grid():
+            derated = fault.derate_arch(arch, severity)
+            label_of[(arch.name, severity)] = derated.name
+            sweep_archs.append(derated)
+
+    sweep = SweepSpec(
+        kernels=list(spec.kernels),
+        archs=sweep_archs,
+        caches=(CACHE_ON,),
+        config=HarnessConfig(reps=spec.reps, warmup_reps=spec.warmup),
+    )
+    results = run_sweep_engine(sweep, options=options, telemetry=telemetry)
+
+    grid: List[dict] = []
+    for kernel in spec.kernels:
+        for arch in base_archs:
+            budget_fn = getattr(fault, "peak_budget_w", None)
+            for severity in spec.severity_grid():
+                result = results.get(kernel, label_of[(arch.name, severity)])
+                record = {
+                    "kernel": kernel,
+                    "arch": arch.name,
+                    "severity": severity,
+                    "fits": bool(result.fits),
+                    "unit_latency_us": (
+                        float(result.unit_latency_us) if result.fits else None
+                    ),
+                    "unit_energy_uj": (
+                        float(result.unit_energy_uj) if result.fits else None
+                    ),
+                    "peak_power_mw": (
+                        float(result.peak_power_mw) if result.fits else None
+                    ),
+                }
+                if budget_fn is not None:
+                    budget_w = float(budget_fn(arch, severity))
+                    record["peak_budget_mw"] = budget_w * 1e3
+                    record["within_budget"] = bool(
+                        result.fits and result.peak_power_w <= budget_w
+                    )
+                grid.append(record)
+    return grid
+
+
+def run_campaign(
+    spec: FaultCampaignSpec,
+    jobs: int = 1,
+    options=None,
+    telemetry=None,
+) -> CampaignResult:
+    """Execute one full fault campaign (kernel grid + mission grid).
+
+    ``options`` are :class:`~repro.engine.EngineOptions` for the kernel
+    sweep (trace cache, checkpointing); ``jobs`` additionally fans the
+    mission cells across a process pool.  The same spec and seed yield a
+    byte-identical :class:`CampaignResult` for any ``jobs``.
+    """
+    fault = get_fault(spec.fault)
+    severities = spec.severity_grid()
+    if telemetry is not None:
+        telemetry.emit(
+            "campaign_started",
+            fault=fault.name,
+            severities=list(severities),
+            kernels=len(spec.kernels),
+            missions=len(spec.missions),
+        )
+    if options is None and jobs > 1:
+        from repro.engine import EngineOptions
+
+        options = EngineOptions(jobs=jobs)
+    kernel_grid = run_kernel_grid(spec, fault, options=options,
+                                  telemetry=telemetry)
+    mission_grid = run_mission_grid(spec, jobs=jobs, telemetry=telemetry)
+    out = CampaignResult(
+        fault=fault.name,
+        seed=spec.seed,
+        severities=severities,
+        kernel_grid=kernel_grid,
+        mission_grid=mission_grid,
+    )
+    if telemetry is not None:
+        telemetry.emit(
+            "campaign_finished",
+            fault=fault.name,
+            kernel_cells=len(kernel_grid),
+            mission_cells=len(mission_grid),
+        )
+    return out

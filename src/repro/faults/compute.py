@@ -1,0 +1,158 @@
+"""Compute-adversity injectors: DVFS throttling and overrun storms.
+
+* :class:`DvfsThrottleFault` — a static frequency/voltage downshift: the
+  operating point every power-manager reaches for first.  Latency
+  stretches with the clock; energy moves by the V-f tradeoff (dynamic
+  power falls, static power integrates for longer).
+* :class:`CpiStormFault` — sustained effective-CPI inflation (bus
+  contention, sag-induced wait states, ECC retries) expressed through the
+  :attr:`~repro.mcu.arch.ArchSpec.cpi_scale` seam, so kernel sweeps price
+  it exactly like any other core.
+* :class:`OverrunStormFault` — transient CPI storms in the closed loop:
+  windows where every control step's compute inflates, overruns pile up,
+  and the runner's compute-limited rate drops — the paper's "overruns
+  degrade flight" failure mode, made injectable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.closedloop.runner import MissionFaultHook
+from repro.faults.base import FaultModel, check_severity, register
+from repro.mcu.arch import ArchSpec
+
+
+class DvfsThrottleFault(FaultModel):
+    name = "dvfs"
+    kinds = ("arch", "mission")
+    summary = "static DVFS downshift: clock scaled down, core voltage with it"
+
+    def clock_scale(self, severity: float) -> float:
+        return max(0.1, 1.0 - 0.9 * check_severity(severity))
+
+    def power_scale(self, severity: float) -> float:
+        # Lower f allows lower V: dynamic power falls faster than clock
+        # alone would suggest, but not quadratically (rails are stepped).
+        return 1.0 - 0.55 * check_severity(severity)
+
+    def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return arch
+        p = arch.power
+        pscale = self.power_scale(severity)
+        from repro.mcu.arch import PowerSpec
+
+        return arch.derated(
+            name=self.arch_label(arch, severity),
+            clock_scale=self.clock_scale(severity),
+            power=PowerSpec(
+                active_mw=p.active_mw * pscale,
+                cache_bonus_mw=p.cache_bonus_mw * pscale,
+                activity_span_mw=p.activity_span_mw * pscale,
+                idle_mw=p.idle_mw,
+                supply_v=p.supply_v,
+            ),
+        )
+
+    def mission_hook(self, severity, seed, duration_s, control_period_s):
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return None
+        return _DvfsHook(self.clock_scale(severity), self.power_scale(severity))
+
+
+class _DvfsHook(MissionFaultHook):
+    """Constant downshift for the whole mission."""
+
+    def __init__(self, clock_scale: float, power_scale: float):
+        super().__init__()
+        self.clock_scale = clock_scale
+        self.power_scale = power_scale
+        self._logged = False
+
+    def on_price(self, step, t, latency_s, energy_j):
+        if not self._logged:
+            self._logged = True
+            self.log("dvfs_downshift", step, t,
+                     clock_scale=round(self.clock_scale, 6))
+        return (
+            latency_s / self.clock_scale,
+            energy_j * self.power_scale / self.clock_scale,
+        )
+
+
+class CpiStormFault(FaultModel):
+    name = "cpi-storm"
+    kinds = ("arch",)
+    summary = "sustained effective-CPI inflation (contention, retries)"
+
+    def cpi_scale(self, severity: float) -> float:
+        return 1.0 + 3.0 * check_severity(severity)
+
+    def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return arch
+        return arch.derated(
+            name=self.arch_label(arch, severity),
+            cpi_scale=arch.cpi_scale * self.cpi_scale(severity),
+        )
+
+
+class OverrunStormFault(FaultModel):
+    name = "overrun-storm"
+    kinds = ("mission",)
+    summary = "transient compute-inflation windows in the closed loop"
+
+    def mission_hook(self, severity, seed, duration_s, control_period_s):
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return None
+        return _OverrunStormHook(severity, seed, duration_s)
+
+
+class _OverrunStormHook(MissionFaultHook):
+    """Randomly placed storm windows; deterministic per (severity, seed)."""
+
+    STORM_FRAC = 0.06  # each storm lasts 6 % of the mission
+
+    def __init__(self, severity: float, seed: int, duration_s: float):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        n_storms = 1 + int(round(3.0 * severity))
+        length = self.STORM_FRAC * duration_s
+        starts = np.sort(
+            rng.uniform(0.05, 0.85, size=n_storms) * duration_s
+        )
+        self.windows: List[Tuple[float, float]] = [
+            (float(s), float(s) + length) for s in starts
+        ]
+        self.inflation = 1.0 + 8.0 * severity
+        self._announced = [False] * n_storms
+
+    def _active(self, t: float) -> int:
+        for i, (w0, w1) in enumerate(self.windows):
+            if w0 <= t <= w1:
+                return i
+        return -1
+
+    def on_price(self, step, t, latency_s, energy_j):
+        i = self._active(t)
+        if i < 0:
+            return latency_s, energy_j
+        if not self._announced[i]:
+            self._announced[i] = True
+            self.log("overrun_storm", step, t,
+                     inflation=round(self.inflation, 6),
+                     until_s=round(self.windows[i][1], 6))
+        # More cycles per step: latency and energy inflate together.
+        return latency_s * self.inflation, energy_j * self.inflation
+
+
+register(DvfsThrottleFault())
+register(CpiStormFault())
+register(OverrunStormFault())

@@ -1,0 +1,190 @@
+"""Power-adversity injectors: supply brownout and battery discharge.
+
+Both models express adversity as a *supply sag* and lean on the electrical
+derating functions that live next to the nominal power model
+(:mod:`repro.mcu.energy`): the power floor rises as regulator headroom
+vanishes, the clock throttles past a sag threshold, the deliverable peak
+shrinks, and past the brownout-reset point the MCU simply dies.
+
+* :class:`BrownoutFault` — a transient high-current sag event: a dip in
+  the middle of a mission whose depth scales with severity.  At high
+  severity the dip crosses the reset threshold and the platform drops out
+  of the sky — the paper's "brownouts kill missions" failure mode.
+* :class:`BatteryDischargeFault` — a LiPo-style discharge curve: severity
+  is the depth of discharge reached by mission end, so the sag (and the
+  throttling it causes) grows toward the end of the flight.  Graceful by
+  construction: the knee degrades flight, it does not reset the MCU.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.closedloop.runner import MissionFaultHook
+from repro.faults.base import FaultModel, check_severity, register
+from repro.mcu.arch import ArchSpec
+from repro.mcu.energy import (
+    SupplySag,
+    derate_power_spec,
+    peak_budget_w,
+    sag_clock_scale,
+)
+
+#: Deepest brownout sag, at severity 1 (crosses the 0.45 reset point).
+BROWNOUT_MAX_SAG = 0.5
+
+
+def _price_under_sag(
+    latency_s: float, energy_j: float, sag: SupplySag
+) -> "tuple[float, float, float]":
+    """First-order repricing of one control step under supply sag.
+
+    The clock throttle stretches latency by ``1/scale``.  Energy rises on
+    two fronts: the regulator's collapsing efficiency lifts the power
+    floor (``1 + 0.7 * sag``), and the stretched runtime integrates the
+    static share of power for longer (``0.6 + 0.4 / scale`` — dynamic
+    power falls with the clock, static power does not).
+    """
+    scale = sag_clock_scale(sag)
+    latency = latency_s / scale
+    energy = energy_j * (1.0 + 0.7 * sag.sag_frac) * (0.6 + 0.4 / scale)
+    return latency, energy, scale
+
+
+class _SagHook(MissionFaultHook):
+    """Shared mission hook: any time-varying sag profile."""
+
+    def __init__(self, duration_s: float, reset_allowed: bool = True):
+        super().__init__()
+        self.duration_s = duration_s
+        self.reset_allowed = reset_allowed
+        self._throttled = False
+        self._pending_abort: Optional[str] = None
+
+    def sag_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def on_price(self, step, t, latency_s, energy_j):
+        sag = SupplySag(self.sag_at(t))
+        if sag.sag_frac <= 0.0:
+            self._throttled = False
+            return latency_s, energy_j
+        latency, energy, scale = _price_under_sag(latency_s, energy_j, sag)
+        if scale < 1.0 and not self._throttled:
+            self._throttled = True
+            self.log("clock_throttled", step, t,
+                     clock_scale=round(scale, 6), sag=round(sag.sag_frac, 6))
+        elif scale >= 1.0:
+            self._throttled = False
+        if self.reset_allowed and sag.resets and self._pending_abort is None:
+            self._pending_abort = "brownout_reset"
+            self.log("brownout_reset", step, t, sag=round(sag.sag_frac, 6))
+        return latency, energy
+
+    def abort_reason(self, step, t):
+        return self._pending_abort
+
+
+class _BrownoutHook(_SagHook):
+    """A mid-mission sag dip: half-sine envelope over a fixed window."""
+
+    WINDOW = (0.35, 0.75)  # fraction of mission duration
+
+    def __init__(self, severity: float, duration_s: float):
+        super().__init__(duration_s, reset_allowed=True)
+        self.sag_max = BROWNOUT_MAX_SAG * severity
+
+    def sag_at(self, t: float) -> float:
+        w0 = self.WINDOW[0] * self.duration_s
+        w1 = self.WINDOW[1] * self.duration_s
+        if not w0 <= t <= w1 or w1 <= w0:
+            return 0.0
+        return self.sag_max * math.sin(math.pi * (t - w0) / (w1 - w0))
+
+
+def battery_voltage_frac(depth: float) -> float:
+    """Normalized LiPo terminal voltage at depth of discharge ``depth``.
+
+    A gentle linear droop over the plateau plus a sharp knee past 80 %
+    depth — the shape every battery-powered flight log shows.
+    """
+    depth = min(max(depth, 0.0), 1.0)
+    return 1.0 - 0.12 * depth - 0.25 * max(0.0, depth - 0.8) / 0.2
+
+
+class _BatteryHook(_SagHook):
+    """Sag follows the discharge curve as the mission drains the pack."""
+
+    def __init__(self, severity: float, duration_s: float):
+        # The knee degrades flight; it does not brown the supervisor out.
+        super().__init__(duration_s, reset_allowed=False)
+        self.depth_at_end = severity
+
+    def sag_at(self, t: float) -> float:
+        depth = self.depth_at_end * min(t / max(self.duration_s, 1e-9), 1.0)
+        return 1.0 - battery_voltage_frac(depth)
+
+
+class BrownoutFault(FaultModel):
+    name = "brownout"
+    kinds = ("arch", "mission")
+    summary = "supply sag dip: power floor up, clock throttled, reset at depth"
+
+    def static_sag(self, severity: float) -> SupplySag:
+        return SupplySag(BROWNOUT_MAX_SAG * check_severity(severity))
+
+    def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return arch
+        sag = self.static_sag(severity)
+        return arch.derated(
+            name=self.arch_label(arch, severity),
+            clock_scale=sag_clock_scale(sag),
+            power=derate_power_spec(arch.power, sag),
+        )
+
+    def peak_budget_w(self, arch: ArchSpec, severity: float) -> float:
+        """Peak power the sagged supply can still deliver to this core."""
+        return peak_budget_w(arch.power, self.static_sag(severity))
+
+    def mission_hook(self, severity, seed, duration_s, control_period_s):
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return None
+        return _BrownoutHook(severity, duration_s)
+
+
+class BatteryDischargeFault(FaultModel):
+    name = "battery"
+    kinds = ("arch", "mission")
+    summary = "LiPo discharge curve: sag (and throttling) grows toward mission end"
+
+    def static_sag(self, severity: float) -> SupplySag:
+        # Worst case over the mission: the end-of-flight operating point.
+        return SupplySag(1.0 - battery_voltage_frac(check_severity(severity)))
+
+    def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return arch
+        sag = self.static_sag(severity)
+        return arch.derated(
+            name=self.arch_label(arch, severity),
+            clock_scale=sag_clock_scale(sag),
+            power=derate_power_spec(arch.power, sag),
+        )
+
+    def peak_budget_w(self, arch: ArchSpec, severity: float) -> float:
+        return peak_budget_w(arch.power, self.static_sag(severity))
+
+    def mission_hook(self, severity, seed, duration_s, control_period_s):
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return None
+        return _BatteryHook(severity, duration_s)
+
+
+register(BrownoutFault())
+register(BatteryDischargeFault())

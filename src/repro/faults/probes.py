@@ -1,0 +1,121 @@
+"""Probe-fault injectors for the simulated measurement chain.
+
+BEEBS-style measurement pitfalls, made injectable: the *instruments* can
+lie too, and an evaluation framework should know how its analysis pipeline
+degrades when they do.
+
+* :func:`corrupt_trace` / :func:`make_capture_filter` — current-probe
+  faults applied through :class:`~repro.instrumentation.power_monitor.
+  PowerMonitor`'s ``capture_filter`` seam: dropped samples (USB backlog),
+  clock-skew *drift* (a skew that itself wanders over the capture, which
+  a single-coefficient sync correction cannot fully undo), and range
+  saturation (a probe stuck on too sensitive a shunt).
+* :func:`make_edge_filter` — logic-analyzer faults through the
+  ``edge_filter`` seam: lost edges and timestamp jitter.
+
+All randomness comes from an explicit ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.faults.base import FaultModel, check_severity, register
+from repro.instrumentation.logic_analyzer import DigitalEdge
+from repro.instrumentation.power_monitor import CurrentTrace
+
+#: Sample-drop probability at severity 1.
+MAX_DROP_P = 0.3
+#: Additional skew drift at severity 1 (ppm per second of capture).
+MAX_DRIFT_PPM_PER_S = 400.0
+#: Saturation at severity 1: the range clips at this quantile of the trace.
+SATURATION_QUANTILE_AT_1 = 0.70
+
+
+def corrupt_trace(
+    trace: CurrentTrace,
+    severity: float,
+    rng: np.random.Generator,
+) -> CurrentTrace:
+    """Probe-faulted copy of a captured current trace."""
+    severity = check_severity(severity)
+    if severity == 0.0 or len(trace) == 0:
+        return trace
+    times = trace.times_s.copy()
+    current = trace.current_a.copy()
+
+    # Range saturation: clip at a quantile that tightens with severity.
+    q = 1.0 - (1.0 - SATURATION_QUANTILE_AT_1) * severity
+    ceiling = float(np.quantile(current, q))
+    if ceiling > 0:
+        current = np.minimum(current, ceiling)
+
+    # Clock-skew drift: error grows quadratically in capture time, which
+    # is exactly what a constant-skew correction cannot absorb.
+    drift = MAX_DRIFT_PPM_PER_S * 1e-6 * severity
+    times = times * (1.0 + drift * times)
+
+    # Sample drops: a USB-backlogged probe silently loses samples.
+    keep = rng.random(len(times)) >= MAX_DROP_P * severity
+    if not keep.any():
+        keep[0] = True
+    return CurrentTrace(times[keep], current[keep], trace.supply_v)
+
+
+def make_capture_filter(
+    severity: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+) -> Callable[[CurrentTrace], CurrentTrace]:
+    """A ``PowerMonitor(capture_filter=...)`` that injects probe faults."""
+    severity = check_severity(severity)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    def capture_filter(trace: CurrentTrace) -> CurrentTrace:
+        return corrupt_trace(trace, severity, generator)
+
+    return capture_filter
+
+
+def make_edge_filter(
+    severity: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+    jitter_s: float = 2e-9,
+) -> Callable[[DigitalEdge], Optional[DigitalEdge]]:
+    """A ``LogicAnalyzer(edge_filter=...)`` dropping/jittering edges."""
+    severity = check_severity(severity)
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    def edge_filter(edge: DigitalEdge) -> Optional[DigitalEdge]:
+        if severity == 0.0:
+            return edge
+        if generator.random() < MAX_DROP_P * severity:
+            return None
+        jitter = float(generator.normal(0.0, jitter_s * severity))
+        if jitter:
+            return DigitalEdge(edge.time_s + jitter, edge.pin, edge.rising)
+        return edge
+
+    return edge_filter
+
+
+class ProbeNoiseFault(FaultModel):
+    name = "probe-noise"
+    kinds = ("probes",)
+    summary = "measurement-chain adversity: dropped samples, skew drift, saturation"
+
+    def capture_filter(self, severity: float,
+                       rng: Optional[np.random.Generator] = None,
+                       seed: int = 0):
+        return make_capture_filter(severity, rng=rng, seed=seed)
+
+    def edge_filter(self, severity: float,
+                    rng: Optional[np.random.Generator] = None,
+                    seed: int = 0):
+        return make_edge_filter(severity, rng=rng, seed=seed)
+
+
+register(ProbeNoiseFault())

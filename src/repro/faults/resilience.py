@@ -1,0 +1,242 @@
+"""Resilience scoring: degradation curves and per-core aggregate scores.
+
+Turns a :class:`~repro.faults.campaign.CampaignResult` into the report
+the benchmark suite is actually after — not "did it crash" but *how
+gracefully does the platform degrade*:
+
+* **graceful-degradation curves** — task quality versus severity, per
+  (mission, arch) and per (kernel, arch).  Mission quality is 0 for a
+  failed flight and ``min(1, rms_0 / rms_s)`` for a completed one (path
+  error relative to the fault-free baseline); kernel quality is the
+  latency inflation ``lat_0 / lat_s``, zeroed when the cell stops fitting
+  or its peak power exceeds what the sagged supply can still deliver.
+* **time-to-failure / energy-to-abort** — when and how expensively
+  flight was lost, straight from the mission records.
+* **resilience score** — per curve, the mean quality over the non-zero
+  severities (the area under the degradation curve); per core, the mean
+  over every curve measured on it.  1.0 = unaffected, 0.0 = dead at the
+  first severity step.
+
+The report is a plain dict of primitives assembled in deterministic
+order; serialized with sorted keys it is byte-stable across runs and
+worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.faults.campaign import CampaignResult
+
+
+def _round(value: Optional[float], digits: int = 6) -> Optional[float]:
+    return None if value is None else round(float(value), digits)
+
+
+def _mission_quality(record: dict, baseline: dict) -> float:
+    """0 for a lost mission; path-error ratio vs baseline otherwise."""
+    if not record["completed"]:
+        return 0.0
+    rms = record["path_error_rms"]
+    rms0 = baseline["path_error_rms"]
+    if rms <= 0.0 or rms0 <= 0.0:
+        return 1.0
+    return min(1.0, rms0 / rms)
+
+
+def _kernel_quality(record: dict, baseline: dict) -> float:
+    """Latency-inflation ratio vs baseline; 0 past the survivable edge."""
+    if not record["fits"]:
+        return 0.0
+    if record.get("within_budget") is False:
+        return 0.0
+    lat = record["unit_latency_us"]
+    lat0 = baseline["unit_latency_us"]
+    if lat is None or lat0 is None or lat <= 0.0:
+        return 0.0
+    return min(1.0, lat0 / lat)
+
+
+def _score(curve: List[dict]) -> float:
+    """Mean quality over non-zero severities (degradation-curve area)."""
+    faulted = [p["quality"] for p in curve if p["severity"] > 0.0]
+    if not faulted:
+        return 1.0
+    return sum(faulted) / len(faulted)
+
+
+def build_report(campaign: CampaignResult) -> dict:
+    """Assemble the resilience report dict for one campaign."""
+    severities = list(campaign.severities)
+
+    mission_curves: List[dict] = []
+    by_mission: Dict[tuple, List[dict]] = {}
+    for record in campaign.mission_grid:
+        by_mission.setdefault((record["mission"], record["arch"]), []).append(record)
+    for (mission, arch), records in by_mission.items():
+        records = sorted(records, key=lambda r: r["severity"])
+        baseline = records[0]
+        curve = []
+        for record in records:
+            quality = _mission_quality(record, baseline)
+            curve.append({
+                "severity": record["severity"],
+                "quality": _round(quality),
+                "completed": record["completed"],
+                "path_error_rms": _round(record["path_error_rms"]),
+                "compute_energy_mj": _round(record["compute_energy_j"] * 1e3),
+                "overruns": record["overruns"],
+                "aborted_by": record["aborted_by"],
+                "time_to_failure_s": _round(record["time_to_failure_s"]),
+                "energy_to_abort_mj": _round(
+                    None if record["energy_to_abort_j"] is None
+                    else record["energy_to_abort_j"] * 1e3
+                ),
+                "fault_events": record["fault_events"],
+            })
+        failures = [p for p in curve if not p["completed"]]
+        mission_curves.append({
+            "mission": mission,
+            "arch": arch,
+            "curve": curve,
+            "resilience_score": _round(_score(curve)),
+            "first_failing_severity": (
+                failures[0]["severity"] if failures else None
+            ),
+        })
+
+    kernel_curves: List[dict] = []
+    by_kernel: Dict[tuple, List[dict]] = {}
+    for record in campaign.kernel_grid:
+        by_kernel.setdefault((record["kernel"], record["arch"]), []).append(record)
+    for (kernel, arch), records in by_kernel.items():
+        records = sorted(records, key=lambda r: r["severity"])
+        baseline = records[0]
+        curve = []
+        for record in records:
+            point = {
+                "severity": record["severity"],
+                "quality": _round(_kernel_quality(record, baseline)),
+                "fits": record["fits"],
+                "unit_latency_us": _round(record["unit_latency_us"]),
+                "unit_energy_uj": _round(record["unit_energy_uj"]),
+                "peak_power_mw": _round(record["peak_power_mw"]),
+            }
+            if "within_budget" in record:
+                point["within_budget"] = record["within_budget"]
+                point["peak_budget_mw"] = _round(record["peak_budget_mw"])
+            curve.append(point)
+        kernel_curves.append({
+            "kernel": kernel,
+            "arch": arch,
+            "curve": curve,
+            "resilience_score": _round(_score(curve)),
+        })
+
+    # Per-core aggregate: the mean over every curve measured on the core.
+    core_scores: Dict[str, List[float]] = {}
+    for entry in mission_curves + kernel_curves:
+        core_scores.setdefault(entry["arch"], []).append(
+            entry["resilience_score"]
+        )
+    cores = [
+        {
+            "arch": arch,
+            "resilience_score": _round(sum(scores) / len(scores)),
+            "curves": len(scores),
+        }
+        for arch, scores in sorted(core_scores.items())
+    ]
+
+    all_scores = [entry["resilience_score"] for entry in mission_curves
+                  + kernel_curves]
+    return {
+        "fault": campaign.fault,
+        "seed": campaign.seed,
+        "severities": severities,
+        "missions": mission_curves,
+        "kernels": kernel_curves,
+        "cores": cores,
+        "overall_resilience_score": _round(
+            sum(all_scores) / len(all_scores) if all_scores else 1.0
+        ),
+    }
+
+
+def save_report(report: dict, path: Union[str, Path]) -> Path:
+    """Write the report as canonical JSON (sorted keys, fixed separators).
+
+    Canonical form is what makes the determinism guarantee checkable with
+    ``cmp``: two runs of the same campaign produce byte-equal files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def render_report(report: dict) -> str:
+    """Human-readable resilience report for the CLI."""
+    lines = [
+        f"fault campaign : {report['fault']} "
+        f"(severities {', '.join(f'{s:g}' for s in report['severities'])}, "
+        f"seed {report['seed']})",
+    ]
+    if report["missions"]:
+        lines.append("")
+        lines.append(f"{'mission':18s} {'arch':14s} {'score':>6s}  "
+                     f"degradation (quality @ severity)")
+        lines.append("-" * 76)
+        for entry in report["missions"]:
+            points = "  ".join(
+                f"{p['quality']:.2f}@{p['severity']:g}" for p in entry["curve"]
+            )
+            lines.append(
+                f"{entry['mission']:18s} {entry['arch']:14s} "
+                f"{entry['resilience_score']:6.3f}  {points}"
+            )
+            failing = entry["first_failing_severity"]
+            if failing is not None:
+                failed = next(p for p in entry["curve"]
+                              if not p["completed"])
+                ttf = failed["time_to_failure_s"]
+                eta = failed["energy_to_abort_mj"]
+                cause = failed["aborted_by"] or "task error"
+                lines.append(
+                    f"{'':18s} {'':14s} {'':6s}  fails at severity "
+                    f"{failing:g} ({cause}, t={ttf:.3f}s, "
+                    f"E={eta:.3f}mJ)"
+                )
+    if report["kernels"]:
+        lines.append("")
+        lines.append(f"{'kernel':18s} {'arch':14s} {'score':>6s}  "
+                     f"latency inflation (us @ severity)")
+        lines.append("-" * 76)
+        for entry in report["kernels"]:
+            points = "  ".join(
+                f"{p['unit_latency_us']:.1f}@{p['severity']:g}"
+                if p["unit_latency_us"] is not None else f"skip@{p['severity']:g}"
+                for p in entry["curve"]
+            )
+            lines.append(
+                f"{entry['kernel']:18s} {entry['arch']:14s} "
+                f"{entry['resilience_score']:6.3f}  {points}"
+            )
+    if report["cores"]:
+        lines.append("")
+        lines.append(f"{'core':14s} {'resilience':>10s} {'curves':>7s}")
+        lines.append("-" * 33)
+        for core in report["cores"]:
+            lines.append(
+                f"{core['arch']:14s} {core['resilience_score']:10.3f} "
+                f"{core['curves']:7d}"
+            )
+    lines.append("")
+    lines.append(
+        f"overall resilience score: {report['overall_resilience_score']:.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Sensor-fault injectors: IMU dropout, bias jumps, stuck channels.
+
+Two forms of the same fault models:
+
+* **offline** — :func:`corrupt_sequence` corrupts an
+  :class:`~repro.datasets.imu.ImuSequence` (through its ``with_sensors``
+  seam, ground truth untouched) so attitude-filter studies can sweep
+  sensor adversity exactly like they sweep Q formats;
+* **online** — per-step mission hooks the closed-loop runners call, with
+  the same statistics, so a dropped IMU sample really does feed the
+  estimator a stale reading mid-flight.
+
+Determinism: every decision draws from one ``numpy.random.Generator``
+seeded at construction; same (severity, seed) → identical injections.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.closedloop.runner import MissionFaultHook
+from repro.datasets.imu import ImuSequence
+from repro.faults.base import FaultModel, check_severity, register
+
+#: Per-sample dropout probability at severity 1.
+MAX_DROPOUT_P = 0.6
+#: Gyro bias-jump magnitude at severity 1 (rad/s) — large against the
+#: bee-hover envelope, plausible against strider-steer.
+MAX_BIAS_RAD_S = 1.5
+#: Stuck-window count and length at severity 1.
+MAX_STUCK_WINDOWS = 2
+STUCK_WINDOW_FRAC = 0.08
+
+
+def _dropout_p(severity: float) -> float:
+    return MAX_DROPOUT_P * severity
+
+
+class _SensorSchedule:
+    """Shared deterministic schedule for one (mode, severity, rng) run."""
+
+    def __init__(self, mode: str, severity: float,
+                 rng: np.random.Generator, n_steps: int):
+        self.mode = mode
+        self.severity = check_severity(severity)
+        self.rng = rng
+        self.n_steps = max(int(n_steps), 1)
+        if mode == "bias":
+            self.bias_step = int(self.rng.uniform(0.2, 0.5) * self.n_steps)
+            axis = int(self.rng.integers(0, 3))
+            sign = 1.0 if self.rng.random() < 0.5 else -1.0
+            self.bias = np.zeros(3)
+            self.bias[axis] = sign * MAX_BIAS_RAD_S * self.severity
+        elif mode == "stuck":
+            n = max(1, int(round(MAX_STUCK_WINDOWS * self.severity)))
+            length = max(1, int(STUCK_WINDOW_FRAC * self.n_steps))
+            starts = np.sort(
+                self.rng.integers(0, max(self.n_steps - length, 1), size=n)
+            )
+            self.windows = [(int(s), int(s) + length) for s in starts]
+
+    def dropped(self) -> bool:
+        return (
+            self.mode == "dropout"
+            and self.rng.random() < _dropout_p(self.severity)
+        )
+
+    def stuck_at(self, step: int) -> bool:
+        if self.mode != "stuck":
+            return False
+        return any(w0 <= step < w1 for w0, w1 in self.windows)
+
+    def biased_at(self, step: int) -> bool:
+        return self.mode == "bias" and step >= self.bias_step
+
+
+def corrupt_sequence(
+    seq: ImuSequence,
+    mode: str,
+    severity: float,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
+) -> ImuSequence:
+    """Corrupted copy of an IMU dataset (``mode``: dropout/bias/stuck).
+
+    Dropout holds the previous sample (zero-order hold, what a sensor
+    driver returns on a missed DRDY); bias adds a persistent gyro offset
+    from a jump instant onward; stuck freezes all channels over windows.
+    """
+    severity = check_severity(severity)
+    if severity == 0.0:
+        return seq
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n = len(seq)
+    schedule = _SensorSchedule(mode, severity, rng, n)
+
+    gyro = seq.gyro.copy()
+    accel = seq.accel.copy()
+    mag = seq.mag.copy()
+    for i in range(n):
+        if schedule.dropped() or schedule.stuck_at(i):
+            if i > 0:
+                gyro[i] = gyro[i - 1]
+                accel[i] = accel[i - 1]
+                mag[i] = mag[i - 1]
+        if schedule.biased_at(i):
+            gyro[i] = gyro[i] + schedule.bias
+    return seq.with_sensors(
+        gyro=gyro, accel=accel, mag=mag,
+        name=f"{seq.name}+{mode}:{severity:g}",
+    )
+
+
+class _SensorHook(MissionFaultHook):
+    """Online per-step application of one sensor-fault mode."""
+
+    def __init__(self, mode: str, severity: float, seed: int, n_steps: int):
+        super().__init__()
+        self.schedule = _SensorSchedule(
+            mode, severity, np.random.default_rng(seed), n_steps
+        )
+        self._held_imu: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._held_heading: Optional[Tuple[float, float]] = None
+        self._stuck_announced = False
+        self._bias_announced = False
+
+    def _faulted(self, step: int, t: float) -> bool:
+        s = self.schedule
+        if s.dropped():
+            self.log("imu_dropout", step, t)
+            return True
+        if s.stuck_at(step):
+            if not self._stuck_announced:
+                self._stuck_announced = True
+                self.log("imu_stuck", step, t)
+            return True
+        self._stuck_announced = False
+        return False
+
+    def on_imu(self, step, t, gyro, accel):
+        if self._faulted(step, t) and self._held_imu is not None:
+            return self._held_imu
+        if self.schedule.biased_at(step):
+            if not self._bias_announced:
+                self._bias_announced = True
+                self.log("imu_bias_jump", step, t,
+                         bias=[round(float(b), 6) for b in self.schedule.bias])
+            gyro = gyro + self.schedule.bias
+        self._held_imu = (gyro, accel)
+        return gyro, accel
+
+    def on_heading(self, step, t, heading, rate):
+        if self._faulted(step, t) and self._held_heading is not None:
+            return self._held_heading
+        if self.schedule.biased_at(step):
+            if not self._bias_announced:
+                self._bias_announced = True
+                self.log("imu_bias_jump", step, t,
+                         bias=round(float(self.schedule.bias[0]), 6))
+            rate = rate + float(self.schedule.bias[0])
+        self._held_heading = (heading, rate)
+        return heading, rate
+
+
+class _SensorFaultModel(FaultModel):
+    kinds = ("mission", "sensors")
+    mode = ""
+
+    def mission_hook(self, severity, seed, duration_s, control_period_s):
+        severity = check_severity(severity)
+        if severity == 0.0:
+            return None
+        n_steps = int(duration_s / max(control_period_s, 1e-9)) + 1
+        return _SensorHook(self.mode, severity, seed, n_steps)
+
+    def corrupt(self, seq: ImuSequence, severity: float,
+                rng: Optional[np.random.Generator] = None,
+                seed: int = 0) -> ImuSequence:
+        return corrupt_sequence(seq, self.mode, severity, rng=rng, seed=seed)
+
+
+class ImuDropoutFault(_SensorFaultModel):
+    name = "imu-dropout"
+    mode = "dropout"
+    summary = "missed IMU samples: estimator sees zero-order-held readings"
+
+
+class ImuBiasFault(_SensorFaultModel):
+    name = "imu-bias"
+    mode = "bias"
+    summary = "persistent gyro bias jump at a random mid-mission instant"
+
+
+class ImuStuckFault(_SensorFaultModel):
+    name = "imu-stuck"
+    mode = "stuck"
+    summary = "sensor channels freeze over windows (hung bus / DMA)"
+
+
+register(ImuDropoutFault())
+register(ImuBiasFault())
+register(ImuStuckFault())

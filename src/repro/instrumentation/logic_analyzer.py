@@ -11,7 +11,7 @@ as it does on hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.instrumentation.gpio import GpioBus, GpioEvent
 
@@ -41,9 +41,16 @@ class LogicAnalyzer:
     """Edge-capture instrument with a quantized local clock."""
 
     def __init__(self, bus: GpioBus, sample_rate_hz: float = 500e6,
-                 start_offset_s: float = 0.0):
+                 start_offset_s: float = 0.0,
+                 edge_filter: Optional[
+                     Callable[[DigitalEdge], Optional[DigitalEdge]]
+                 ] = None):
         self.sample_period_s = 1.0 / sample_rate_hz
         self.start_offset_s = start_offset_s  # local t=0 in harness time
+        # Optional per-edge transform — the probe-fault seam.  Returning
+        # ``None`` drops the edge (a missed sample); returning a modified
+        # edge models timestamp jitter or glitching.
+        self._edge_filter = edge_filter
         self._capturing = False
         self._edges: List[DigitalEdge] = []
         bus.subscribe(self._on_event)
@@ -61,7 +68,13 @@ class LogicAnalyzer:
         if local < 0:
             return
         quantized = round(local / self.sample_period_s) * self.sample_period_s
-        self._edges.append(DigitalEdge(quantized, event.pin, event.state))
+        edge = DigitalEdge(quantized, event.pin, event.state)
+        if self._edge_filter is not None:
+            filtered = self._edge_filter(edge)
+            if filtered is None:
+                return
+            edge = filtered
+        self._edges.append(edge)
 
     @property
     def edges(self) -> List[DigitalEdge]:

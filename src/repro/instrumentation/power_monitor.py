@@ -13,7 +13,7 @@ from this trace, exactly as the paper's Python scripts do from real logs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,13 +57,23 @@ class PowerMonitor:
         clock_skew_ppm: float = 40.0,
         start_offset_s: float = 0.0,
         seed: int = 1234,
+        rng: Optional[np.random.Generator] = None,
+        capture_filter: Optional[Callable[["CurrentTrace"], "CurrentTrace"]] = None,
     ):
         self.supply_v = supply_v
         self.noise_a = noise_a
         # Local clock runs at (1 + skew) x true rate — sync must correct it.
         self.clock_skew = clock_skew_ppm * 1e-6
         self.start_offset_s = start_offset_s
-        self._rng = np.random.default_rng(seed)
+        # All of the probe's randomness (noise, burst placement) draws from
+        # this one explicit generator so experiments are reproducible
+        # end-to-end: pass a config-seeded ``numpy.random.Generator`` to
+        # share a stream, or rely on ``seed`` for a private one.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        # Optional post-processing applied to every captured trace — the
+        # seam probe-fault injectors (sample drops, skew drift, saturation)
+        # hook into without the monitor knowing about fault models.
+        self._capture_filter = capture_filter
         self._armed = False
         self._acquiring = False
         self._segments: List[PowerSegment] = []
@@ -145,7 +155,10 @@ class PowerMonitor:
         )
         # Express time on the monitor's skewed local clock.
         local_times = (true_times - t0) * (1.0 + self.clock_skew) + self.start_offset_s
-        return CurrentTrace(local_times, current, self.supply_v)
+        trace = CurrentTrace(local_times, current, self.supply_v)
+        if self._capture_filter is not None:
+            trace = self._capture_filter(trace)
+        return trace
 
     def export_csv_rows(self) -> List[Tuple[float, float]]:
         trace = self.capture()

@@ -22,7 +22,8 @@ are not datasheet transcriptions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -101,10 +102,55 @@ class ArchSpec:
     process_node_nm: int
     has_hw_divide: bool
     has_dsp_simd: bool  # ARMv7E-M / ARMv8-M DSP extension (USADA8 etc.)
+    #: Effective-CPI multiplier for adverse operating points (contention,
+    #: error-correction retries, wait-state insertion under voltage sag).
+    #: 1.0 on every nominal core; fault injectors derive stressed variants.
+    cpi_scale: float = 1.0
 
     @property
     def clock_mhz(self) -> float:
         return self.clock_hz / 1e6
+
+    @property
+    def base_name(self) -> str:
+        """Underlying core name with any fault-variant suffix stripped.
+
+        A derated variant (``m33+brownout:0.5``) runs the *same compiled
+        binary* as its base core; models keyed on the core's identity
+        (static code model, per-arch factors) must resolve through this.
+        """
+        return self.name.split("+", 1)[0]
+
+    def derated(
+        self,
+        *,
+        name: Optional[str] = None,
+        clock_scale: float = 1.0,
+        cpi_scale: Optional[float] = None,
+        power: Optional[PowerSpec] = None,
+    ) -> "ArchSpec":
+        """A derived operating point of this core.
+
+        Fault injectors (``repro.faults``) use this to express DVFS states,
+        brownout throttling, and compute-contention storms as first-class
+        :class:`ArchSpec` variants: the whole pricing stack (pipeline,
+        cache, energy, engine) then threads through unchanged.  With all
+        arguments at their defaults the original spec is returned as-is.
+        """
+        if (
+            name is None
+            and clock_scale == 1.0
+            and cpi_scale is None
+            and power is None
+        ):
+            return self
+        return replace(
+            self,
+            name=name if name is not None else self.name,
+            clock_hz=self.clock_hz * clock_scale,
+            cpi_scale=cpi_scale if cpi_scale is not None else self.cpi_scale,
+            power=power if power is not None else self.power,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name

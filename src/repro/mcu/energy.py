@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.mcu.arch import ArchSpec
+from repro.mcu.arch import ArchSpec, PowerSpec
 from repro.mcu.ops import OpTrace
 from repro.mcu.pipeline import CycleBreakdown
 
@@ -118,3 +118,77 @@ class EnergyModel:
 
     def idle_power_w(self) -> float:
         return self.arch.power.idle_mw / 1e3
+
+
+# -- supply adversity (brownout / battery sag) -------------------------------
+#
+# The fault-injection layer (``repro.faults``) models power adversity as a
+# *supply sag*: the board rail drooping below nominal, as happens during a
+# battery knee or a high-current brownout.  The electrical consequences are
+# expressed here, next to the nominal power model, so the derated numbers
+# stay consistent with it:
+#
+# * the regulator's dropout efficiency collapses as headroom vanishes, so
+#   the power floor *rises* while the usable supply falls;
+# * past a sag threshold the supervisor throttles the clock to keep the
+#   core inside its shrinking operating envelope;
+# * the instantaneous peak the supply can still deliver shrinks roughly
+#   with the square of the remaining voltage.
+
+
+@dataclass(frozen=True)
+class SupplySag:
+    """One supply-adversity operating point.
+
+    ``sag_frac`` is the fraction of nominal rail voltage lost (0 = healthy).
+    ``throttle_threshold`` / ``throttle_slope`` / ``min_clock_scale`` shape
+    the supervisor's clock-throttling response; ``reset_sag`` is the
+    brownout-reset point past which the MCU cannot stay up at all.
+    """
+
+    sag_frac: float
+    throttle_threshold: float = 0.08
+    throttle_slope: float = 2.4
+    min_clock_scale: float = 0.08
+    reset_sag: float = 0.45
+
+    @property
+    def resets(self) -> bool:
+        return self.sag_frac >= self.reset_sag
+
+
+def sag_clock_scale(sag: SupplySag) -> float:
+    """Clock multiplier the brownout supervisor applies at this sag."""
+    over = sag.sag_frac - sag.throttle_threshold
+    if over <= 0.0:
+        return 1.0
+    return max(sag.min_clock_scale, 1.0 - sag.throttle_slope * over)
+
+
+def derate_power_spec(p: PowerSpec, sag: SupplySag) -> PowerSpec:
+    """Power parameters under supply sag: floor up, rail down.
+
+    At zero sag the spec is returned unchanged (bit-identity with the
+    nominal model is load-bearing for the no-fault path).
+    """
+    s = sag.sag_frac
+    if s <= 0.0:
+        return p
+    return PowerSpec(
+        active_mw=p.active_mw * (1.0 + 0.6 * s),
+        cache_bonus_mw=p.cache_bonus_mw,
+        activity_span_mw=p.activity_span_mw,
+        idle_mw=p.idle_mw * (1.0 + 1.5 * s),
+        supply_v=p.supply_v * (1.0 - s),
+    )
+
+
+def peak_budget_w(p: PowerSpec, sag: SupplySag) -> float:
+    """Peak power the sagged supply can still deliver before collapsing.
+
+    Nominal headroom is sized so every healthy core clears its own worst
+    burst; the budget shrinks as (1 - sag)^2 — current capability falls
+    with voltage, and deliverable power with both.
+    """
+    nominal_mw = 1.4 * (p.active_mw + p.activity_span_mw + p.cache_bonus_mw)
+    return nominal_mw * (1.0 - sag.sag_frac) ** 2 / 1e3

@@ -112,6 +112,11 @@ class PipelineModel:
         # Dual-issue cores overlap independent int/mem/branch work.
         overlap = a.superscalar_ipc
         cycles += (int_cycles + mem_cycles + branch_cycles) / overlap
+        # Adverse operating points (fault injection: contention storms,
+        # sag-induced wait states) inflate effective CPI uniformly.  The
+        # guard keeps the nominal path bit-identical.
+        if a.cpi_scale != 1.0:
+            cycles *= a.cpi_scale
         return cycles
 
     def cycles(

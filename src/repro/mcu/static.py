@@ -155,18 +155,24 @@ _ARCH_FACTORS: Dict[str, Tuple[float, float, float, float]] = {
 
 
 def static_profile(kernel_name: str, base: StaticMix, arch: ArchSpec) -> StaticMix:
-    """Per-core static profile for a kernel with the given base (M4) mix."""
-    ff, fi, fm, fb = _ARCH_FACTORS[arch.name]
+    """Per-core static profile for a kernel with the given base (M4) mix.
+
+    Keyed on the *base* core name: a fault-derated arch variant runs the
+    same compiled binary as the core it derives from, so its static mix
+    (and jitter) must be identical.
+    """
+    core = arch.base_name
+    ff, fi, fm, fb = _ARCH_FACTORS[core]
     spread = 0.04
-    f = int(base.f * ff * _jitter(kernel_name, arch.name, "F", spread))
-    i = int(base.i * fi * _jitter(kernel_name, arch.name, "I", spread))
-    m = int(base.m * fm * _jitter(kernel_name, arch.name, "M", spread))
-    b = int(base.b * fb * _jitter(kernel_name, arch.name, "B", spread))
-    if arch.name == "m0plus":
+    f = int(base.f * ff * _jitter(kernel_name, core, "F", spread))
+    i = int(base.i * fi * _jitter(kernel_name, core, "I", spread))
+    m = int(base.m * fm * _jitter(kernel_name, core, "M", spread))
+    b = int(base.b * fb * _jitter(kernel_name, core, "B", spread))
+    if core == "m0plus":
         # Soft-float libraries add float code expressed as int/mem/branch.
         i += int(base.f * 2.2)
         m += int(base.f * 0.8)
         b += int(base.f * 0.6)
     # Flash differences between cores are "very minor, if any" (paper note).
-    flash = int(base.flash_bytes * _jitter(kernel_name, arch.name, "flash", 0.005))
+    flash = int(base.flash_bytes * _jitter(kernel_name, core, "flash", 0.005))
     return StaticMix(flash, f, i, m, b)
