@@ -11,12 +11,20 @@ Mirrors the artifact's make-target workflow with subcommands::
     python -m repro mission hover --arch m33   # closed-loop evaluation
     python -m repro faults --fault brownout --mission hover \
         --severities 0.25,0.5,1.0 --out resilience.json
+    python -m repro trace mission hover        # profile: phase report
+    python -m repro sweep --trace sweep.trace.json   # Perfetto-loadable
+
+Observability: ``sweep``, ``mission``, and ``faults`` accept ``--trace``
+(Chrome trace-event JSON, open in https://ui.perfetto.dev) and
+``--metrics-out`` (JSONL metric dump); ``repro trace <cmd>`` runs the
+same command with tracing on and prints a hottest-first phase report.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -60,6 +68,43 @@ def _cmd_run(args) -> int:
     print(f"energy    : {result.unit_energy_uj:.3f} uJ")
     print(f"peak power: {result.peak_power_mw:.0f} mW")
     return 0 if result.all_valid else 1
+
+
+@contextmanager
+def _observation(args, report: bool = False):
+    """Enable tracing/metrics around a command when the flags ask for it.
+
+    Args:
+        args: Parsed CLI namespace; ``--trace`` / ``--metrics-out`` paths
+            are read from it when present.
+        report: Also print the text phase report after the command (the
+            ``repro trace`` wrapper sets this).
+
+    Yields:
+        None; on exit the requested exports are written and the process
+        returns to the zero-overhead disabled defaults.
+    """
+    import repro.obs as obs
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not (trace_path or metrics_path or report):
+        yield
+        return
+    tracer, metrics = obs.observe()
+    try:
+        yield
+    finally:
+        if report:
+            print()
+            print(obs.phase_report(tracer))
+        if trace_path:
+            path = obs.save_chrome_trace(tracer, trace_path)
+            print(f"trace     : {path} (open in https://ui.perfetto.dev)")
+        if metrics_path:
+            path = obs.save_metrics_jsonl(metrics, metrics_path)
+            print(f"metrics   : {path}")
+        obs.unobserve()
 
 
 def _engine_options(args):
@@ -233,7 +278,84 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The shared observability export flags (--trace / --metrics-out)."""
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON here "
+                        "(open in https://ui.perfetto.dev)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a JSONL metrics dump here")
+
+
+def _add_sweep_args(p: argparse.ArgumentParser) -> None:
+    """The full sweep flag set (shared with ``repro trace sweep``)."""
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated (default: full suite)")
+    p.add_argument("--archs", default=None,
+                   help="comma-separated (default: m4,m33,m7)")
+    p.add_argument("--reps", type=int, default=1)
+    p.add_argument("--warmup", type=int, default=0)
+    p.add_argument("--out", default=None, help=".json or .csv path")
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel solve workers (default: 1 = serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent trace-cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the trace cache (always re-solve)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file for kill-resume (JSONL)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint's completed cells")
+    _add_obs_args(p)
+
+
+def _add_mission_args(p: argparse.ArgumentParser) -> None:
+    """The mission flag set (shared with ``repro trace mission``)."""
+    p.add_argument("mission", choices=("hover", "waypoints", "steer"))
+    p.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+    _add_obs_args(p)
+
+
+def _add_faults_args(p: argparse.ArgumentParser) -> None:
+    """The fault-campaign flag set (shared with ``repro trace faults``)."""
+    p.add_argument("--list", action="store_true",
+                   help="list registered fault models and exit")
+    p.add_argument("--fault", default=None,
+                   help="fault model name (see --list)")
+    p.add_argument("--mission", default=None,
+                   help="comma-separated missions (hover,waypoints,steer)")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated kernels for the static grid")
+    p.add_argument("--severities", default="0.25,0.5,0.75,1.0",
+                   help="comma-separated severities in [0,1]; "
+                        "the 0 baseline is always included")
+    p.add_argument("--archs", default="m33",
+                   help="comma-separated cores (default: m33)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (per-cell seeds derive from it)")
+    p.add_argument("--reps", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel workers for solves and mission cells")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent trace-cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the trace cache")
+    p.add_argument("--out", default=None,
+                   help="write the resilience report JSON here")
+    _add_obs_args(p)
+
+
+#: Commands ``repro trace`` can wrap with a phase report.
+TRACEABLE_COMMANDS = ("sweep", "mission", "faults")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argparse tree (single source of truth).
+
+    ``tests/test_docs.py`` walks this tree to assert that every flag the
+    documentation mentions actually exists, so new flags belong here.
+    """
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -249,24 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-cache", dest="cache", action="store_false")
 
     sweep = sub.add_parser("sweep", help="run a kernel x core x cache sweep")
-    sweep.add_argument("--kernels", default=None,
-                       help="comma-separated (default: full suite)")
-    sweep.add_argument("--archs", default=None,
-                       help="comma-separated (default: m4,m33,m7)")
-    sweep.add_argument("--reps", type=int, default=1)
-    sweep.add_argument("--warmup", type=int, default=0)
-    sweep.add_argument("--out", default=None, help=".json or .csv path")
-    sweep.add_argument("--verbose", action="store_true")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="parallel solve workers (default: 1 = serial)")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="persistent trace-cache directory")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the trace cache (always re-solve)")
-    sweep.add_argument("--checkpoint", default=None,
-                       help="checkpoint file for kill-resume (JSONL)")
-    sweep.add_argument("--resume", action="store_true",
-                       help="resume from the checkpoint's completed cells")
+    _add_sweep_args(sweep)
 
     tables_p = sub.add_parser("tables", help="regenerate a paper table")
     tables_p.add_argument("--table", type=int, required=True, choices=range(3, 9))
@@ -278,41 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persistent trace-cache directory (table 4)")
 
     mission = sub.add_parser("mission", help="closed-loop mission evaluation")
-    mission.add_argument("mission", choices=("hover", "waypoints", "steer"))
-    mission.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+    _add_mission_args(mission)
 
     faults = sub.add_parser(
         "faults", help="fault-injection campaign with resilience report"
     )
-    faults.add_argument("--list", action="store_true",
-                        help="list registered fault models and exit")
-    faults.add_argument("--fault", default=None,
-                        help="fault model name (see --list)")
-    faults.add_argument("--mission", default=None,
-                        help="comma-separated missions (hover,waypoints,steer)")
-    faults.add_argument("--kernels", default=None,
-                        help="comma-separated kernels for the static grid")
-    faults.add_argument("--severities", default="0.25,0.5,0.75,1.0",
-                        help="comma-separated severities in [0,1]; "
-                             "the 0 baseline is always included")
-    faults.add_argument("--archs", default="m33",
-                        help="comma-separated cores (default: m33)")
-    faults.add_argument("--seed", type=int, default=0,
-                        help="campaign seed (per-cell seeds derive from it)")
-    faults.add_argument("--reps", type=int, default=1)
-    faults.add_argument("--jobs", type=int, default=1,
-                        help="parallel workers for solves and mission cells")
-    faults.add_argument("--cache-dir", default=None,
-                        help="persistent trace-cache directory")
-    faults.add_argument("--no-cache", action="store_true",
-                        help="disable the trace cache")
-    faults.add_argument("--out", default=None,
-                        help="write the resilience report JSON here")
+    _add_faults_args(faults)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a command with tracing on and print a phase report",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    _add_sweep_args(trace_sub.add_parser(
+        "sweep", help="profile a sweep (same flags as `repro sweep`)"))
+    _add_mission_args(trace_sub.add_parser(
+        "mission", help="profile a mission (same flags as `repro mission`)"))
+    _add_faults_args(trace_sub.add_parser(
+        "faults", help="profile a campaign (same flags as `repro faults`)"))
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse ``argv`` and dispatch to the subcommand handler."""
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -322,7 +416,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mission": _cmd_mission,
         "faults": _cmd_faults,
     }
-    return handlers[args.command](args)
+    command = args.command
+    report = command == "trace"
+    if report:
+        command = args.trace_command
+    with _observation(args, report=report):
+        return handlers[command](args)
 
 
 if __name__ == "__main__":

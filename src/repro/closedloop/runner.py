@@ -37,8 +37,9 @@ from repro.control.smac import SlidingModeAdaptiveController
 from repro.mcu.arch import ArchSpec, M33
 from repro.mcu.cache import CACHE_ON, CacheConfig, CacheModel
 from repro.mcu.energy import EnergyModel
-from repro.mcu.ops import OpCounter
+from repro.mcu.ops import OpCounter, OpTrace
 from repro.mcu.pipeline import PipelineModel
+from repro.obs import get_metrics, get_tracer
 from repro.scalar import F32, ScalarType
 
 #: Flash/working-set footprints used to price the closed-loop stack.
@@ -118,6 +119,69 @@ class MissionFaultHook:
         return None
 
 
+def _mission_track(tracer, mission_name: str) -> str:
+    """Timeline lane for one mission run's sim-time spans.
+
+    A campaign driver may pre-select a distinct lane per cell by setting
+    ``tracer.track`` (e.g. ``mission:hover/m33 s=0.5``); a standalone run
+    defaults to ``mission:<name>``.
+    """
+    return tracer.track if tracer.track != "main" else f"mission:{mission_name}"
+
+
+def _emit_step_obs(tracer, track: str, step_idx: int, t: float,
+                   latency_s: float, est_frac: float, energy_j: float,
+                   period_s: float) -> None:
+    """Sim-time spans for one control step: step + estimate/control split.
+
+    All times are mission (simulated) seconds, so the emitted spans are
+    byte-identical across runs.  ``est_frac`` is the estimation phase's
+    share of the step's priced latency (0 when the stack has no separate
+    estimator); the step span carries zero self time so phase reports
+    attribute cost to the estimate/control children.
+    """
+    end = t + latency_s
+    split = t + latency_s * est_frac
+    tracer.add_span("mission.step", t, end, cat="mission", track=track,
+                    self_s=0.0, step=step_idx,
+                    energy_uj=round(energy_j * 1e6, 6))
+    if est_frac > 0.0:
+        tracer.add_span("mission.estimate", t, split, cat="mission",
+                        track=track, depth=1, step=step_idx)
+    tracer.add_span("mission.control", split, end, cat="mission",
+                    track=track, depth=1, step=step_idx)
+    if latency_s > period_s:
+        tracer.instant("mission.overrun", t_s=t, cat="mission", track=track,
+                       step=step_idx, latency_us=round(latency_s * 1e6, 3))
+
+
+def _emit_mission_obs(tracer, metrics, track: str, mission_name: str,
+                      arch_name: str, duration_s: float, completed: bool,
+                      log: ComputeLog, fault_hook) -> None:
+    """Mission-level span, fault-injection instants, and metrics."""
+    if tracer.enabled:
+        tracer.add_span(
+            "mission.run", 0.0, duration_s, cat="mission", track=track,
+            self_s=0.0, mission=mission_name, arch=arch_name,
+            completed=completed, overruns=log.overruns, steps=log.steps,
+            compute_energy_uj=round(log.energy_j * 1e6, 6),
+        )
+        if fault_hook is not None:
+            for event in fault_hook.events:
+                detail = {k: v for k, v in event.items()
+                          if k not in ("kind", "t_s")}
+                tracer.instant(f"fault.{event['kind']}", t_s=event["t_s"],
+                               cat="faults", track=track, **detail)
+    if metrics.enabled:
+        metrics.inc("mission.runs")
+        metrics.inc("mission.completed" if completed else "mission.failed")
+        metrics.inc(f"mission.compute_energy_uj.{arch_name}",
+                    log.energy_j * 1e6)
+        metrics.inc("mission.overruns", log.overruns)
+        if fault_hook is not None:
+            metrics.inc("faults.injections", len(fault_hook.events))
+
+
 def _emit_mission_telemetry(telemetry, mission_name: str, arch_name: str,
                             log: ComputeLog, fault_hook) -> None:
     """Overrun attribution + per-injection events, if a collector listens."""
@@ -155,7 +219,11 @@ class _StepPricer:
         )
 
     def price(self, counter: OpCounter):
-        trace = counter.snapshot()
+        """Price the counter's accumulated trace; returns (latency_s, energy_j)."""
+        return self.price_trace(counter.snapshot())
+
+    def price_trace(self, trace: OpTrace):
+        """Price one explicit op-trace (used for per-phase attribution)."""
         breakdown = self.pipeline.cycles(
             trace, self.scalar, self.cache, STACK_CODE_BYTES, STACK_DATA_BYTES
         )
@@ -200,11 +268,22 @@ class FlappingWingRunner:
         self.telemetry = telemetry
 
     def run(self, mission: HoverMission) -> MissionResult:
+        """Fly one hover/waypoint mission; returns its :class:`MissionResult`.
+
+        When the process-wide tracer is enabled, every control step emits
+        sim-time spans (``mission.step`` with ``mission.estimate`` /
+        ``mission.control`` children) without perturbing any numeric
+        result — the same counter and pricer drive the mission outcome.
+        """
         body = FlappingWingBody(seed=self.seed)
         body.reset(tilt_rad=0.15, pos=mission.reference(0.0) + np.array([0.04, -0.03, -0.05]))
         filt = Mahony(scalar=self.scalar)
         ctrl = GeometricController(mass=body.mass, kx=self.kx, kv=self.kv,
                                    kr=self.kr, kw=self.kw)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        traced = tracer.enabled
+        track = _mission_track(tracer, mission.name)
         log = ComputeLog()
         hook = self.fault_hook
         errors = []
@@ -222,6 +301,7 @@ class FlappingWingRunner:
                 if hook is not None:
                     gyro, accel = hook.on_imu(step_idx, t, gyro, accel)
                 filt.update(gyro, accel, None, self.control_period, counter)
+                est_trace = counter.snapshot() if traced else None
                 r_est = _quat_to_matrix(filt.quaternion())
                 ref = mission.reference(t)
                 cmd = ctrl.compute(
@@ -232,11 +312,22 @@ class FlappingWingRunner:
                 thrust = float(np.clip(cmd.thrust, 0.0, 2.5 * body.mass * 9.81))
                 moment = np.clip(cmd.moment, -6e-6, 6e-6)
                 latency_s, energy_j = self.pricer.price(counter)
+                raw_latency_s = latency_s
                 if hook is not None:
                     latency_s, energy_j = hook.on_price(
                         step_idx, t, latency_s, energy_j
                     )
                 log.record(latency_s, energy_j, self.control_period)
+                if traced:
+                    est_latency_s, _ = self.pricer.price_trace(est_trace)
+                    est_frac = (min(est_latency_s / raw_latency_s, 1.0)
+                                if raw_latency_s > 0 else 0.0)
+                    _emit_step_obs(tracer, track, step_idx, t, latency_s,
+                                   est_frac, energy_j, self.control_period)
+                if metrics.enabled:
+                    metrics.inc("mission.steps")
+                    metrics.observe("mission.step_latency_us", latency_s * 1e6)
+                    metrics.observe("mission.step_energy_uj", energy_j * 1e6)
                 # Compute-limited rate: the next update can't start before
                 # this one's computation has finished.
                 next_control_t = t + max(self.control_period, latency_s)
@@ -261,9 +352,12 @@ class FlappingWingRunner:
         attitude_ok = steady_tilt <= mission.max_steady_tilt_rad
         _emit_mission_telemetry(self.telemetry, mission.name, self.arch.name,
                                 log, hook)
+        completed = score["completed"] and attitude_ok and aborted_by is None
+        _emit_mission_obs(tracer, metrics, track, mission.name,
+                          self.arch.name, t, completed, log, hook)
         return MissionResult(
             name=mission.name,
-            completed=score["completed"] and attitude_ok and aborted_by is None,
+            completed=completed,
             duration_s=t,
             path_error_rms_m=score["rms"],
             path_error_max_m=score["max"],
@@ -305,9 +399,19 @@ class StriderRunner:
         self.telemetry = telemetry
 
     def run(self, mission: SteeringCourse) -> MissionResult:
+        """Steer one heading course; returns its :class:`MissionResult`.
+
+        Tracing mirrors :meth:`FlappingWingRunner.run`, except the strider
+        stack has no separate estimator, so each ``mission.step`` span
+        carries a single ``mission.control`` child.
+        """
         strider = WaterStrider(seed=self.seed)
         strider.reset()
         ctrl = SlidingModeAdaptiveController(lam=10.0, eta=1.5, gamma=0.2)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        traced = tracer.enabled
+        track = _mission_track(tracer, mission.name)
         log = ComputeLog()
         hook = self.fault_hook
         errors = []
@@ -338,6 +442,13 @@ class StriderRunner:
                         step_idx, t, latency_s, energy_j
                     )
                 log.record(latency_s, energy_j, self.control_period)
+                if traced:
+                    _emit_step_obs(tracer, track, step_idx, t, latency_s,
+                                   0.0, energy_j, self.control_period)
+                if metrics.enabled:
+                    metrics.inc("mission.steps")
+                    metrics.observe("mission.step_latency_us", latency_s * 1e6)
+                    metrics.observe("mission.step_energy_uj", energy_j * 1e6)
                 next_control_t = t + max(self.control_period, latency_s)
                 if hook is not None:
                     aborted_by = hook.abort_reason(step_idx, t)
@@ -355,9 +466,12 @@ class StriderRunner:
                                  mission.success_rms_rad)
         _emit_mission_telemetry(self.telemetry, mission.name, self.arch.name,
                                 log, hook)
+        completed = score["completed"] and aborted_by is None
+        _emit_mission_obs(tracer, metrics, track, mission.name,
+                          self.arch.name, t, completed, log, hook)
         return MissionResult(
             name=mission.name,
-            completed=score["completed"] and aborted_by is None,
+            completed=completed,
             duration_s=t,
             path_error_rms_m=score["rms"],
             path_error_max_m=score["max"],

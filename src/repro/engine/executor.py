@@ -33,6 +33,7 @@ from repro.engine.planner import Cell, SolveJob, SweepPlan, build_plan
 from repro.engine.profile import KernelProfile, price_profile, skip_result, solve_profile
 from repro.engine.telemetry import Telemetry, progress_subscriber
 from repro.engine.trace_cache import TraceCache
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -53,6 +54,7 @@ class EngineOptions:
     resume: bool = False
 
     def make_cache(self) -> TraceCache:
+        """The trace cache these options describe (shared or fresh)."""
         if self.trace_cache is not None:
             return self.trace_cache
         return TraceCache(cache_dir=self.cache_dir, enabled=self.use_cache)
@@ -88,7 +90,21 @@ def _resolve_profiles(
     cache: TraceCache,
     telemetry: Telemetry,
 ) -> Dict[str, KernelProfile]:
-    """Fetch or compute the profile for every job that needs one."""
+    """Fetch or compute the profile for every job that needs one.
+
+    Args:
+        plan: The expanded sweep plan (for job/cell bookkeeping).
+        pending: Jobs whose profiles are still required.
+        options: Execution options (worker count, cache wiring).
+        cache: The trace cache to consult and fill.
+        telemetry: Event collector for solve/cache lifecycle events.
+
+    Returns:
+        Mapping of solve key -> :class:`KernelProfile` for every pending
+        job, whether cache-hit or freshly solved.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
     profiles: Dict[str, KernelProfile] = {}
     to_solve: List[SolveJob] = []
     for job in pending:
@@ -98,8 +114,13 @@ def _resolve_profiles(
             profiles[job.key] = hit
             telemetry.cached_solve_s[job.key] = hit.solve_s
             telemetry.emit("cache_hit", kernel=job.kernel, key=job.key)
+            metrics.inc("engine.cache_hits")
+            if tracer.enabled:
+                tracer.instant("engine.cache_hit", cat="engine",
+                               kernel=job.kernel, key=job.key)
         else:
             to_solve.append(job)
+            metrics.inc("engine.cache_misses")
 
     if not to_solve:
         return profiles
@@ -129,15 +150,28 @@ def _resolve_profiles(
                         "solve_finished", kernel=job.kernel,
                         key=job.key, solve_s=round(profile.solve_s, 6),
                     )
+                    if tracer.enabled:
+                        # Worker processes trace nothing; reconstruct the
+                        # solve span on a per-kernel lane from the
+                        # worker-reported duration, ending now.
+                        end = tracer.now()
+                        tracer.add_span(
+                            "engine.solve", max(end - profile.solve_s, 0.0),
+                            end, cat="engine", track=f"solve:{job.kernel}",
+                            kernel=job.kernel, key=job.key, worker=True,
+                        )
     else:
         for job in to_solve:
             telemetry.emit("solve_started", kernel=job.kernel, key=job.key)
             telemetry.job_launched()
-            start = perf_counter()
-            profile = solve_profile(
-                job.kernel, job.factory_kwargs, job.reps, job.warmup_reps
-            )
-            profile.solve_s = perf_counter() - start
+            span = tracer.span("engine.solve", cat="engine",
+                               kernel=job.kernel, key=job.key)
+            with span:
+                start = perf_counter()
+                profile = solve_profile(
+                    job.kernel, job.factory_kwargs, job.reps, job.warmup_reps
+                )
+                profile.solve_s = perf_counter() - start
             telemetry.job_retired()
             profiles[job.key] = profile
             cache.put(job.key, profile)
@@ -147,6 +181,12 @@ def _resolve_profiles(
                 key=job.key, solve_s=round(profile.solve_s, 6),
             )
     telemetry.stage_end("solve")
+    # Collation-path metrics: derived here, in plan order, so worker
+    # scheduling can never reorder the aggregation.
+    if metrics.enabled:
+        for job in to_solve:
+            metrics.inc("engine.solves")
+            metrics.observe("engine.solve_wall_s", profiles[job.key].solve_s)
     return profiles
 
 
@@ -163,6 +203,9 @@ def run_plan(
     telemetry = telemetry or Telemetry()
     telemetry.jobs_requested = options.jobs
     cache = options.make_cache()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    metrics.set_gauge("engine.jobs", options.jobs)
 
     telemetry.emit(
         "sweep_started",
@@ -195,7 +238,10 @@ def run_plan(
     telemetry.stage_start("price")
     out = SweepResults()
     ckpt_fh = checkpoint.open("a") if checkpoint is not None else None
+    price_span = tracer.span("engine.price", cat="engine",
+                             cells=len(plan.cells))
     try:
+        price_span.__enter__()
         for cell in plan.cells:
             job = plan.job_of_kernel[cell.kernel]
             if cell in done:
@@ -204,6 +250,7 @@ def run_plan(
                     "cell_resumed",
                     kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
                 )
+                metrics.inc("engine.cells_resumed")
                 continue
             arch = plan.archs[cell.arch]
             cache_config = plan.caches[cell.cache]
@@ -218,17 +265,36 @@ def run_plan(
                     kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
                     reason="memory",
                 )
+                metrics.inc("engine.cells_skipped")
             else:
-                result = price_profile(profiles[job.key], arch, cache_config)
+                if tracer.enabled:
+                    with tracer.span("engine.price_cell", cat="engine",
+                                     kernel=cell.kernel, arch=cell.arch,
+                                     cache=cell.cache):
+                        result = price_profile(
+                            profiles[job.key], arch, cache_config
+                        )
+                else:
+                    result = price_profile(profiles[job.key], arch, cache_config)
                 out.add(result)
                 telemetry.emit(
                     "cell_finished",
                     kernel=cell.kernel, arch=cell.arch, cache=cell.cache,
                     fits=result.fits, reps=len(result.runs),
                 )
+                if metrics.enabled:
+                    metrics.inc("engine.cells_run")
+                    if result.fits and result.runs:
+                        metrics.observe("engine.cell_latency_us",
+                                        result.unit_latency_us)
+                        metrics.observe("engine.cell_energy_uj",
+                                        result.unit_energy_uj)
+                        metrics.inc(f"engine.energy_uj.{cell.arch}",
+                                    result.unit_energy_uj)
             if ckpt_fh is not None:
                 experiment_io.write_checkpoint_line(ckpt_fh, cell, result)
     finally:
+        price_span.__exit__(None, None, None)
         if ckpt_fh is not None:
             ckpt_fh.close()
     telemetry.stage_end("price")
@@ -256,5 +322,8 @@ def run_sweep_engine(
     telemetry = telemetry or Telemetry()
     if progress is not None:
         telemetry.subscribe(progress_subscriber(progress))
-    plan = build_plan(spec)
-    return run_plan(plan, options=options, telemetry=telemetry)
+    tracer = get_tracer()
+    with tracer.span("engine.sweep", cat="engine", kernels=len(spec.kernels)):
+        with tracer.span("engine.plan", cat="engine"):
+            plan = build_plan(spec)
+        return run_plan(plan, options=options, telemetry=telemetry)

@@ -112,6 +112,7 @@ class SolveJob:
 
     @property
     def needs_solve(self) -> bool:
+        """True when at least one cell will price from this job's profile."""
         return bool(self.priced_cells)
 
 

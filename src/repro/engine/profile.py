@@ -60,6 +60,7 @@ class KernelProfile:
     solve_s: float = 0.0
 
     def to_dict(self) -> dict:
+        """JSON-safe dict for the trace cache and worker transport."""
         return {
             "format_version": PROFILE_FORMAT_VERSION,
             "kernel": self.kernel,
@@ -91,6 +92,12 @@ class KernelProfile:
 
     @classmethod
     def from_dict(cls, data: dict) -> "KernelProfile":
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On a missing or incompatible format version
+                (stale cache entries become cache misses upstream).
+        """
         version = data.get("format_version")
         if version != PROFILE_FORMAT_VERSION:
             raise ValueError(

@@ -89,6 +89,7 @@ class Telemetry:
     # -- event flow ----------------------------------------------------------
 
     def subscribe(self, fn: Callable[[TelemetryEvent], None]) -> None:
+        """Call ``fn`` synchronously with every subsequently emitted event."""
         self._subscribers.append(fn)
 
     def emit(
@@ -99,6 +100,18 @@ class Telemetry:
         cache: str = "",
         **detail,
     ) -> TelemetryEvent:
+        """Record one event, bump its kind counter, notify subscribers.
+
+        Args:
+            kind: Event kind (``solve_started``, ``cache_hit``, ...).
+            kernel: Kernel the event concerns, when applicable.
+            arch: Core the event concerns, when applicable.
+            cache: Cache label the event concerns, when applicable.
+            **detail: Free-form extra payload stored on the event.
+
+        Returns:
+            The recorded :class:`TelemetryEvent`.
+        """
         event = TelemetryEvent(
             kind=kind,
             t_s=self._clock() - self._t0,
@@ -116,16 +129,20 @@ class Telemetry:
     # -- concurrency + stage accounting --------------------------------------
 
     def job_launched(self) -> None:
+        """Count one solve job entering flight (tracks peak concurrency)."""
         self.in_flight += 1
         self.max_in_flight = max(self.max_in_flight, self.in_flight)
 
     def job_retired(self) -> None:
+        """Count one solve job leaving flight."""
         self.in_flight = max(self.in_flight - 1, 0)
 
     def stage_start(self, name: str) -> None:
+        """Open the wall-clock window for a named stage (solve/price)."""
         self._stage_open[name] = self._clock()
 
     def stage_end(self, name: str) -> None:
+        """Close a stage window, accumulating its wall time."""
         start = self._stage_open.pop(name, None)
         if start is not None:
             self._stage_wall[name] = (
@@ -134,6 +151,7 @@ class Telemetry:
 
     @property
     def wall_s(self) -> float:
+        """Wall seconds since this collector was created."""
         return self._clock() - self._t0
 
     # -- reporting ------------------------------------------------------------
@@ -157,6 +175,7 @@ class Telemetry:
         return total
 
     def summary(self) -> dict:
+        """One flat dict summarizing the run (cells, solves, cache, speedup)."""
         cells_run = self.counts.get("cell_finished", 0)
         cells_skipped = self.counts.get("cell_skipped", 0)
         cells_resumed = self.counts.get("cell_resumed", 0)

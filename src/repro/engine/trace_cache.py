@@ -39,17 +39,21 @@ class CacheStats:
 
     @property
     def hits(self) -> int:
+        """Total hits, memory and disk combined."""
         return self.memory_hits + self.disk_hits
 
     @property
     def lookups(self) -> int:
+        """Total ``get`` calls that went through the enabled cache."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict:
+        """JSON-safe snapshot for telemetry summaries."""
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -79,6 +83,17 @@ class TraceCache:
         return self.cache_dir / f"{key}.json"
 
     def get(self, key: str) -> Optional[KernelProfile]:
+        """Look up a profile by content address.
+
+        Args:
+            key: Solve key from
+                :func:`~repro.engine.planner.solve_key`.
+
+        Returns:
+            The cached :class:`KernelProfile`, or None on a miss
+            (including torn/stale/foreign disk entries, which are
+            treated as misses and later overwritten).
+        """
         if not self.enabled:
             return None
         if key in self._memory:
@@ -100,6 +115,11 @@ class TraceCache:
         return None
 
     def put(self, key: str, profile: KernelProfile) -> None:
+        """Store a profile in memory and (when configured) on disk.
+
+        Disk writes are atomic (tempfile + rename) so a killed sweep
+        can never leave a torn entry behind.
+        """
         if not self.enabled:
             return
         self._memory[key] = profile

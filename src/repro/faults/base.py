@@ -96,4 +96,5 @@ def get_fault(name: str) -> FaultModel:
 
 
 def fault_names() -> Tuple[str, ...]:
+    """The registered fault-model names, sorted."""
     return tuple(sorted(FAULTS))

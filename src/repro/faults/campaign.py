@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.faults.base import FaultModel, check_severity, get_fault
+from repro.obs import get_metrics, get_tracer
 
 #: Mission registry: name -> (runner factory, mission factory).
 MISSION_NAMES = ("hover", "waypoints", "steer")
@@ -180,12 +181,36 @@ def _mission_worker(payload: tuple) -> dict:
     }
 
 
+def _cell_track(cell: MissionCell) -> str:
+    """Trace-timeline lane for one mission cell's sim-time spans."""
+    return f"mission:{cell.mission}/{cell.arch} s={cell.severity:g}"
+
+
 def run_mission_grid(
     spec: FaultCampaignSpec,
     jobs: int = 1,
     telemetry=None,
 ) -> List[dict]:
-    """Execute the mission cells, collated in canonical cell order."""
+    """Execute the mission cells, collated in canonical cell order.
+
+    Args:
+        spec: The campaign to expand into mission cells.
+        jobs: Process-pool width; 1 runs every cell in-process.
+        telemetry: Optional :class:`~repro.engine.Telemetry` collector.
+
+    Returns:
+        One plain record dict per cell, in canonical
+        (mission, arch, severity) order regardless of worker count.
+
+    Observability: with the process-wide tracer enabled, each cell's
+    sim-time spans land on its own ``mission:<name>/<arch> s=<sev>``
+    lane — per-step spans when cells run in-process (``jobs == 1``),
+    a synthesized ``mission.run`` summary span otherwise (workers trace
+    nothing).  Mission metrics are derived here at collation, in cell
+    order, so the aggregate is identical for any ``jobs``.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
     cells = plan_mission_cells(spec)
     if not cells:
         return []
@@ -200,8 +225,47 @@ def run_mission_grid(
         with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
             # map() preserves input order: collation is worker-count-proof.
             records = list(pool.map(_mission_worker, payloads))
+        if tracer.enabled:
+            for cell, record in zip(cells, records):
+                track = _cell_track(cell)
+                tracer.add_span(
+                    "mission.run", 0.0, record["duration_s"], cat="mission",
+                    track=track, self_s=0.0, mission=cell.mission,
+                    arch=cell.arch, severity=cell.severity,
+                    completed=record["completed"],
+                    overruns=record["overruns"],
+                )
+                for event in record["events"]:
+                    detail = {k: v for k, v in event.items()
+                              if k not in ("kind", "t_s")}
+                    tracer.instant(f"fault.{event['kind']}",
+                                   t_s=event["t_s"], cat="faults",
+                                   track=track, **detail)
     else:
-        records = [_mission_worker(p) for p in payloads]
+        # In-process cells trace per-step detail on their own lanes.  The
+        # runners' own metrics are suppressed so the campaign aggregate
+        # comes exclusively from the collation loop below and is therefore
+        # identical to the multi-worker path.
+        records = []
+        metrics_were_enabled = metrics.enabled
+        metrics.enabled = False
+        prev_track = tracer.track
+        try:
+            for cell, payload in zip(cells, payloads):
+                if tracer.enabled:
+                    tracer.track = _cell_track(cell)
+                records.append(_mission_worker(payload))
+        finally:
+            tracer.track = prev_track
+            metrics.enabled = metrics_were_enabled
+    if metrics.enabled:
+        for record in records:
+            metrics.inc("faults.mission_cells")
+            metrics.inc("faults.missions_completed" if record["completed"]
+                        else "faults.missions_failed")
+            metrics.inc("faults.injections", record["fault_events"])
+            metrics.observe("faults.mission_energy_uj",
+                            record["compute_energy_j"] * 1e6)
     if telemetry is not None:
         for record in records:
             telemetry.emit(
@@ -267,7 +331,10 @@ def run_kernel_grid(
         caches=(CACHE_ON,),
         config=HarnessConfig(reps=spec.reps, warmup_reps=spec.warmup),
     )
-    results = run_sweep_engine(sweep, options=options, telemetry=telemetry)
+    tracer = get_tracer()
+    with tracer.span("faults.kernel_grid", cat="faults", fault=fault.name,
+                     kernels=len(spec.kernels), archs=len(sweep_archs)):
+        results = run_sweep_engine(sweep, options=options, telemetry=telemetry)
 
     grid: List[dict] = []
     for kernel in spec.kernels:
@@ -327,9 +394,12 @@ def run_campaign(
         from repro.engine import EngineOptions
 
         options = EngineOptions(jobs=jobs)
-    kernel_grid = run_kernel_grid(spec, fault, options=options,
-                                  telemetry=telemetry)
-    mission_grid = run_mission_grid(spec, jobs=jobs, telemetry=telemetry)
+    tracer = get_tracer()
+    with tracer.span("faults.campaign", cat="faults", fault=fault.name,
+                     severities=len(severities)):
+        kernel_grid = run_kernel_grid(spec, fault, options=options,
+                                      telemetry=telemetry)
+        mission_grid = run_mission_grid(spec, jobs=jobs, telemetry=telemetry)
     out = CampaignResult(
         fault=fault.name,
         seed=spec.seed,

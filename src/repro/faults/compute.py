@@ -26,19 +26,24 @@ from repro.mcu.arch import ArchSpec
 
 
 class DvfsThrottleFault(FaultModel):
+    """Static DVFS downshift: slower clock, proportionally lower power."""
+
     name = "dvfs"
     kinds = ("arch", "mission")
     summary = "static DVFS downshift: clock scaled down, core voltage with it"
 
     def clock_scale(self, severity: float) -> float:
+        """Clock multiplier at this severity (floored at 10%)."""
         return max(0.1, 1.0 - 0.9 * check_severity(severity))
 
     def power_scale(self, severity: float) -> float:
+        """Dynamic-power multiplier at this severity."""
         # Lower f allows lower V: dynamic power falls faster than clock
         # alone would suggest, but not quadratically (rails are stepped).
         return 1.0 - 0.55 * check_severity(severity)
 
     def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        """The arch as it runs at this downshift point."""
         severity = check_severity(severity)
         if severity == 0.0:
             return arch
@@ -59,6 +64,7 @@ class DvfsThrottleFault(FaultModel):
         )
 
     def mission_hook(self, severity, seed, duration_s, control_period_s):
+        """A constant-downshift per-step hook (None at severity 0)."""
         severity = check_severity(severity)
         if severity == 0.0:
             return None
@@ -86,14 +92,18 @@ class _DvfsHook(MissionFaultHook):
 
 
 class CpiStormFault(FaultModel):
+    """Sustained effective-CPI inflation from contention or bus retries."""
+
     name = "cpi-storm"
     kinds = ("arch",)
     summary = "sustained effective-CPI inflation (contention, retries)"
 
     def cpi_scale(self, severity: float) -> float:
+        """Multiplier on effective CPI (up to 4x at severity 1)."""
         return 1.0 + 3.0 * check_severity(severity)
 
     def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        """The arch with its CPI inflated by the storm."""
         severity = check_severity(severity)
         if severity == 0.0:
             return arch
@@ -104,11 +114,14 @@ class CpiStormFault(FaultModel):
 
 
 class OverrunStormFault(FaultModel):
+    """Transient compute-inflation windows hitting the closed loop."""
+
     name = "overrun-storm"
     kinds = ("mission",)
     summary = "transient compute-inflation windows in the closed loop"
 
     def mission_hook(self, severity, seed, duration_s, control_period_s):
+        """A windowed latency-inflation hook (None at severity 0)."""
         severity = check_severity(severity)
         if severity == 0.0:
             return None

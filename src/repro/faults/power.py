@@ -127,14 +127,18 @@ class _BatteryHook(_SagHook):
 
 
 class BrownoutFault(FaultModel):
+    """Supply-sag dip: throttled clock, raised power floor, reset at depth."""
+
     name = "brownout"
     kinds = ("arch", "mission")
     summary = "supply sag dip: power floor up, clock throttled, reset at depth"
 
     def static_sag(self, severity: float) -> SupplySag:
+        """The steady-state sag this severity holds the rail at."""
         return SupplySag(BROWNOUT_MAX_SAG * check_severity(severity))
 
     def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        """The arch as it runs on the sagged rail."""
         severity = check_severity(severity)
         if severity == 0.0:
             return arch
@@ -150,6 +154,7 @@ class BrownoutFault(FaultModel):
         return peak_budget_w(arch.power, self.static_sag(severity))
 
     def mission_hook(self, severity, seed, duration_s, control_period_s):
+        """A sag-dip per-step hook with reset-at-depth (None at 0)."""
         severity = check_severity(severity)
         if severity == 0.0:
             return None
@@ -157,15 +162,18 @@ class BrownoutFault(FaultModel):
 
 
 class BatteryDischargeFault(FaultModel):
+    """LiPo discharge: sag (and throttling) grows toward mission end."""
+
     name = "battery"
     kinds = ("arch", "mission")
     summary = "LiPo discharge curve: sag (and throttling) grows toward mission end"
 
     def static_sag(self, severity: float) -> SupplySag:
-        # Worst case over the mission: the end-of-flight operating point.
+        """Worst-case sag: the end-of-flight operating point."""
         return SupplySag(1.0 - battery_voltage_frac(check_severity(severity)))
 
     def derate_arch(self, arch: ArchSpec, severity: float) -> ArchSpec:
+        """The arch at the end-of-flight (worst-case) operating point."""
         severity = check_severity(severity)
         if severity == 0.0:
             return arch
@@ -177,9 +185,11 @@ class BatteryDischargeFault(FaultModel):
         )
 
     def peak_budget_w(self, arch: ArchSpec, severity: float) -> float:
+        """Peak power available at the worst-case discharge point."""
         return peak_budget_w(arch.power, self.static_sag(severity))
 
     def mission_hook(self, severity, seed, duration_s, control_period_s):
+        """A discharge-curve per-step hook (None at severity 0)."""
         severity = check_severity(severity)
         if severity == 0.0:
             return None

@@ -103,6 +103,8 @@ def make_edge_filter(
 
 
 class ProbeNoiseFault(FaultModel):
+    """Measurement-chain adversity hitting the instrumentation probes."""
+
     name = "probe-noise"
     kinds = ("probes",)
     summary = "measurement-chain adversity: dropped samples, skew drift, saturation"
@@ -110,11 +112,13 @@ class ProbeNoiseFault(FaultModel):
     def capture_filter(self, severity: float,
                        rng: Optional[np.random.Generator] = None,
                        seed: int = 0):
+        """A seeded corruption filter for power-capture samples."""
         return make_capture_filter(severity, rng=rng, seed=seed)
 
     def edge_filter(self, severity: float,
                     rng: Optional[np.random.Generator] = None,
                     seed: int = 0):
+        """A seeded corruption filter for logic-analyzer edges."""
         return make_edge_filter(severity, rng=rng, seed=seed)
 
 

@@ -183,18 +183,24 @@ class _SensorFaultModel(FaultModel):
 
 
 class ImuDropoutFault(_SensorFaultModel):
+    """Missed IMU samples: the estimator sees zero-order-held readings."""
+
     name = "imu-dropout"
     mode = "dropout"
     summary = "missed IMU samples: estimator sees zero-order-held readings"
 
 
 class ImuBiasFault(_SensorFaultModel):
+    """Persistent gyro bias jump at a random mid-mission instant."""
+
     name = "imu-bias"
     mode = "bias"
     summary = "persistent gyro bias jump at a random mid-mission instant"
 
 
 class ImuStuckFault(_SensorFaultModel):
+    """Sensor channels freezing over windows (hung bus / DMA)."""
+
     name = "imu-stuck"
     mode = "stuck"
     summary = "sensor channels freeze over windows (hung bus / DMA)"

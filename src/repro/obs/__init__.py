@@ -1,0 +1,98 @@
+"""Observability: span tracing, metrics, and profiling exports.
+
+``repro.obs`` makes the whole stack inspectable — not just *what* a sweep
+or mission measured, but *where the cycles and nanojoules went* while it
+ran.  Three cooperating pieces:
+
+* **Tracer** (:mod:`repro.obs.tracer`) — ``span()`` context managers
+  wrapping planner solves, trace-cache lookups, per-cell pricing,
+  fault-campaign cells, and per-mission-step estimate/control phases.
+  Zero overhead when disabled (the default): the no-op path allocates
+  nothing.  Mission spans are stamped in *simulated* time, so a mission
+  trace is byte-identical across runs.
+* **Metrics** (:mod:`repro.obs.metrics`) — a registry of counters,
+  gauges, and histograms (cache hit counts, solve latencies, per-arch
+  energy totals, overruns), aggregated across process-pool workers by
+  folding worker-returned records in canonical cell order — the result
+  is identical for ``--jobs 1`` and ``--jobs N``.
+* **Exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (open in https://ui.perfetto.dev), a hottest-first text phase report,
+  and JSONL metric dumps.
+
+Typical use, mirroring ``repro trace`` / ``--trace``::
+
+    import repro.obs as obs
+
+    tracer, metrics = obs.observe()       # install enabled singletons
+    results = run_sweep_engine(spec, options)
+    print(obs.phase_report(tracer))
+    obs.save_chrome_trace(tracer, "sweep.trace.json")
+    obs.save_metrics_jsonl(metrics, "sweep.metrics.jsonl")
+    obs.unobserve()                       # back to the free defaults
+
+Enabling observation never changes results: the traced code paths are
+read-only observers, asserted byte-identical in ``tests/test_obs.py``.
+"""
+
+from repro.obs.export import (
+    phase_report,
+    save_chrome_trace,
+    save_metrics_jsonl,
+    to_chrome_trace,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "observe",
+    "phase_report",
+    "reset_metrics",
+    "save_chrome_trace",
+    "save_metrics_jsonl",
+    "set_metrics",
+    "set_tracer",
+    "to_chrome_trace",
+    "unobserve",
+]
+
+
+def observe():
+    """Install fresh enabled tracer + metrics singletons.
+
+    Returns:
+        ``(tracer, metrics)`` — the newly installed
+        :class:`~repro.obs.tracer.Tracer` and
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+    tracer = enable_tracing()
+    metrics = set_metrics(MetricsRegistry(enabled=True))
+    return tracer, metrics
+
+
+def unobserve() -> None:
+    """Restore the disabled defaults (tracing and metrics off)."""
+    disable_tracing()
+    reset_metrics()

@@ -1,0 +1,239 @@
+"""Exporters: Chrome trace-event JSON, text phase reports, metrics JSONL.
+
+Three ways out of the observability layer:
+
+* :func:`to_chrome_trace` / :func:`save_chrome_trace` — the Chrome
+  trace-event format (JSON object with a ``traceEvents`` array), loadable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Tracks
+  become thread rows; spans become complete (``X``) events; fault
+  injections and cache hits become instants; counter samples become
+  ``C`` events.  Timestamps are microseconds, rounded to nanosecond
+  resolution so sim-time traces serialize byte-identically across runs.
+* :func:`phase_report` — a terminal-friendly flame summary: one row per
+  span name with call count, total / self / mean time, and the share of
+  all self time, sorted hottest first.  This is what ``repro trace``
+  prints.
+* :func:`save_metrics_jsonl` — one JSON line per metric from a
+  :class:`~repro.obs.metrics.MetricsRegistry`, sorted by type then name,
+  for downstream ingestion (dashboards, CI diffing).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "phase_report",
+    "save_metrics_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+#: Trace-format identity, recorded in the exported JSON's metadata.
+TRACE_FORMAT = "chrome-trace-events"
+
+
+def _us(seconds: float) -> float:
+    """Seconds -> microseconds, rounded to ns so output is byte-stable."""
+    return round(seconds * 1e6, 3)
+
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    """Map track names to Chrome tids in first-appearance order."""
+    ids: Dict[str, int] = {}
+    for span in tracer.spans:
+        ids.setdefault(span.track, len(ids))
+    for instant in tracer.instants:
+        ids.setdefault(instant["track"], len(ids))
+    for counter in tracer.counters:
+        ids.setdefault(counter["track"], len(ids))
+    if not ids:
+        ids["main"] = 0
+    return ids
+
+
+def _clean_args(args: dict) -> dict:
+    """JSON-safe argument rendering (repr anything exotic)."""
+    out = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """Render a tracer's recordings as a Chrome trace-event object.
+
+    Args:
+        tracer: The tracer whose spans / instants / counters to export.
+        process_name: Name shown for the single exported process row.
+
+    Returns:
+        A dict with ``traceEvents`` (metadata + X/i/C events, ordered by
+        track, then timestamp, then record sequence) plus
+        ``displayTimeUnit`` and an ``otherData`` provenance block —
+        ``json.dumps`` of it is a valid trace file.
+    """
+    tids = _track_ids(tracer)
+    events: List[dict] = [
+        {
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": track},
+        })
+
+    body: List[tuple] = []
+    for span in tracer.spans:
+        body.append((
+            tids[span.track], _us(span.t0_s), 0, span.seq,
+            {
+                "ph": "X", "pid": 0, "tid": tids[span.track],
+                "name": span.name, "cat": span.cat or "repro",
+                "ts": _us(span.t0_s), "dur": _us(span.dur_s),
+                "args": _clean_args(span.args),
+            },
+        ))
+    for i, instant in enumerate(tracer.instants):
+        body.append((
+            tids[instant["track"]], _us(instant["t_s"]), 1, i,
+            {
+                "ph": "i", "pid": 0, "tid": tids[instant["track"]],
+                "name": instant["name"], "cat": instant["cat"] or "repro",
+                "ts": _us(instant["t_s"]), "s": "t",
+                "args": _clean_args(instant["args"]),
+            },
+        ))
+    for i, counter in enumerate(tracer.counters):
+        body.append((
+            tids[counter["track"]], _us(counter["t_s"]), 2, i,
+            {
+                "ph": "C", "pid": 0, "tid": tids[counter["track"]],
+                "name": counter["name"], "ts": _us(counter["t_s"]),
+                "args": {"value": counter["value"]},
+            },
+        ))
+    body.sort(key=lambda item: item[:4])
+    events.extend(item[4] for item in body)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": TRACE_FORMAT,
+            "spans": len(tracer.spans),
+            "instants": len(tracer.instants),
+            "counter_samples": len(tracer.counters),
+        },
+    }
+
+
+def save_chrome_trace(
+    tracer: Tracer, path: PathLike, process_name: str = "repro"
+) -> Path:
+    """Write :func:`to_chrome_trace` output to ``path``.
+
+    Args:
+        tracer: The tracer to export.
+        path: Destination file (conventionally ``*.trace.json``).
+        process_name: Name for the exported process row.
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_chrome_trace(tracer, process_name), indent=1) + "\n"
+    )
+    return path
+
+
+def phase_report(tracer: Tracer, title: str = "phase report") -> str:
+    """Aggregate spans by name into a hottest-first text table.
+
+    Args:
+        tracer: The tracer whose spans to summarize.
+        title: Heading line for the report.
+
+    Returns:
+        A multi-line string: per-phase call count, total and self wall
+        (or sim) milliseconds, mean microseconds per call, and each
+        phase's share of all recorded self time, sorted by self time
+        descending (record order breaks ties deterministically).
+    """
+    by_name: Dict[str, List[Span]] = {}
+    order: List[str] = []
+    for span in tracer.spans:
+        if span.name not in by_name:
+            by_name[span.name] = []
+            order.append(span.name)
+        by_name[span.name].append(span)
+
+    rows = []
+    total_self = 0.0
+    for name in order:
+        spans = by_name[name]
+        total = sum(s.dur_s for s in spans)
+        self_t = sum(s.self_s for s in spans)
+        total_self += self_t
+        rows.append((name, len(spans), total, self_t))
+    rows.sort(key=lambda r: -r[3])
+
+    lines = [
+        f"{title} — {len(tracer.spans)} spans, "
+        f"{len(rows)} phases, {total_self * 1e3:.3f} ms total self time",
+        f"{'phase':28s} {'calls':>7s} {'total ms':>10s} {'self ms':>10s} "
+        f"{'mean us':>10s} {'self %':>7s}",
+        "-" * 78,
+    ]
+    for name, calls, total, self_t in rows:
+        share = self_t / total_self if total_self > 0 else 0.0
+        lines.append(
+            f"{name:28s} {calls:7d} {total * 1e3:10.3f} {self_t * 1e3:10.3f} "
+            f"{total / calls * 1e6:10.2f} {share:6.1%}"
+        )
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def save_metrics_jsonl(registry: MetricsRegistry, path: PathLike) -> Path:
+    """Write a registry as JSONL: one sorted line per metric.
+
+    Args:
+        registry: The metrics registry to dump.
+        path: Destination file (conventionally ``*.metrics.jsonl``).
+
+    Returns:
+        The written path.
+    """
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = registry.as_dict()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        lines.append({"metric": name, "type": "counter", "value": value})
+    for name, value in snapshot["gauges"].items():
+        lines.append({"metric": name, "type": "gauge", "value": value})
+    for name, value in snapshot["histograms"].items():
+        lines.append({"metric": name, "type": "histogram", **value})
+    path.write_text(
+        "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+    )
+    return path

@@ -1,0 +1,358 @@
+"""Span-based tracing with zero overhead when disabled.
+
+The tracer is the observability layer's event source: code wraps units of
+work in ``with tracer.span("solve", kernel="p3p"):`` blocks, and the
+tracer records one :class:`Span` per completed block — name, category,
+begin time, duration, self time (duration minus child spans), nesting
+depth, and arbitrary key/value attributes.  Exporters
+(:mod:`repro.obs.export`) turn the recorded spans into Chrome trace-event
+JSON (loadable in Perfetto / ``chrome://tracing``) and text phase
+reports.
+
+Two timebases coexist:
+
+* **wall clock** (default) — ``with tracer.span(...)`` stamps begin/end
+  from a monotonic clock relative to tracer creation.  Used for host-side
+  work: planning, solving, pricing, collation.
+* **simulated time** — :meth:`Tracer.add_span` takes explicit begin/end
+  seconds, so the closed-loop runners emit per-control-step spans on the
+  *mission's* time axis.  Sim-time spans are deterministic: the same
+  mission produces a byte-identical trace on every run.
+
+Disabled tracing is free by construction: :meth:`Tracer.span` on a
+disabled tracer returns one shared no-op context manager (no allocation,
+no clock read, no list append), and the module-level default tracer
+starts disabled.  Hot paths may also hoist ``tracer.enabled`` checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+
+@dataclass
+class Span:
+    """One completed unit of traced work.
+
+    Attributes:
+        name: What ran (span names follow the dotted conventions in
+            ``docs/observability.md``, e.g. ``engine.solve``).
+        cat: Coarse category used for Chrome-trace filtering
+            (``engine`` / ``mission`` / ``faults`` / ...).
+        t0_s: Begin time in seconds on the span's track timebase.
+        dur_s: Duration in seconds (end - begin, never negative).
+        self_s: Duration minus the summed duration of direct child
+            spans — the time attributable to this span alone.
+        depth: Nesting depth at creation (0 = top level).
+        track: Named timeline lane; each track exports as its own
+            Chrome-trace thread row (e.g. ``main``, ``mission:hover``).
+        args: Free-form attributes shown in the trace viewer's detail
+            panel (kernel name, arch, cache key, severity, ...).
+        seq: Monotone record sequence number, used as the deterministic
+            tiebreak when sorting for export.
+    """
+
+    name: str
+    cat: str
+    t0_s: float
+    dur_s: float
+    self_s: float
+    depth: int
+    track: str
+    args: Dict[str, object] = field(default_factory=dict)
+    seq: int = 0
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """Enter the with-block without recording anything."""
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Leave the with-block; exceptions propagate."""
+        return False
+
+    def set(self, **args) -> "_NoopSpan":
+        """Discard attributes (the enabled twin attaches them)."""
+        return self
+
+
+#: The single no-op span instance: ``span()`` on a disabled tracer always
+#: returns this exact object, so the disabled path allocates nothing.
+_NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span on an enabled tracer."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0", "_child_s", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+        self._child_s = 0.0
+        self._depth = 0
+
+    def set(self, **args) -> "_LiveSpan":
+        """Attach (or overwrite) attributes while the span is open."""
+        self.args.update(args)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        """Stamp the begin time and push onto the tracer's open stack."""
+        tracer = self._tracer
+        self._depth = len(tracer._stack)
+        tracer._stack.append(self)
+        self._t0 = tracer._now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Stamp the end time, record the span, credit the parent."""
+        tracer = self._tracer
+        dur = max(tracer._now() - self._t0, 0.0)
+        tracer._stack.pop()
+        if tracer._stack:
+            tracer._stack[-1]._child_s += dur
+        tracer._record(
+            Span(
+                name=self.name,
+                cat=self.cat,
+                t0_s=self._t0,
+                dur_s=dur,
+                self_s=max(dur - self._child_s, 0.0),
+                depth=self._depth,
+                track=tracer.track,
+                args=self.args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans, instant events, and counter samples for export.
+
+    A tracer owns a monotonic clock (zeroed at construction), a stack of
+    open wall-clock spans for self-time accounting, and flat lists of
+    finished :class:`Span` records, instant events, and counter samples.
+
+    Args:
+        enabled: When False every recording method is a cheap no-op;
+            :meth:`span` returns one shared no-op context manager.
+        clock: Seconds-returning callable used for wall-clock spans
+            (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = enabled
+        self._clock = clock
+        self._t0 = clock() if enabled else 0.0
+        self.spans: List[Span] = []
+        self.instants: List[dict] = []
+        self.counters: List[dict] = []
+        self._stack: List[_LiveSpan] = []
+        self._seq = 0
+        #: Track (timeline lane) new wall-clock spans land on.
+        self.track = "main"
+
+    # -- recording -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _record(self, span: Span) -> None:
+        span.seq = self._seq
+        self._seq += 1
+        self.spans.append(span)
+
+    def span(self, name: str, cat: str = "", **args):
+        """Open a wall-clock span as a context manager.
+
+        Args:
+            name: Span name (dotted convention, e.g. ``engine.solve``).
+            cat: Chrome-trace category for viewer filtering.
+            **args: Attributes shown in the trace viewer detail panel.
+
+        Returns:
+            A context manager; on a disabled tracer, the shared no-op
+            instance (identical object every call — zero allocation).
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _LiveSpan(self, name, cat, args)
+
+    def add_span(
+        self,
+        name: str,
+        t0_s: float,
+        t1_s: float,
+        cat: str = "",
+        track: Optional[str] = None,
+        depth: int = 0,
+        self_s: Optional[float] = None,
+        **args,
+    ) -> None:
+        """Record a span with explicit begin/end times (simulated time).
+
+        The closed-loop runners use this to emit per-control-step spans on
+        the mission's own time axis; the executor uses it to reconstruct
+        worker-side solve spans from reported durations.
+
+        Args:
+            name: Span name.
+            t0_s: Begin time in seconds on the target track's timebase.
+            t1_s: End time in seconds (clamped to ``>= t0_s``).
+            cat: Chrome-trace category.
+            track: Timeline lane; defaults to the tracer's current track.
+            depth: Nesting depth to record (explicit spans carry no
+                stack, so the caller declares the hierarchy).
+            self_s: Self time; defaults to the full duration.
+            **args: Attributes for the trace viewer.
+        """
+        if not self.enabled:
+            return
+        dur = max(t1_s - t0_s, 0.0)
+        self._record(
+            Span(
+                name=name,
+                cat=cat,
+                t0_s=t0_s,
+                dur_s=dur,
+                self_s=dur if self_s is None else self_s,
+                depth=depth,
+                track=track if track is not None else self.track,
+                args=args,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        t_s: Optional[float] = None,
+        cat: str = "",
+        track: Optional[str] = None,
+        **args,
+    ) -> None:
+        """Record a zero-duration event (fault injection, cache hit...).
+
+        Args:
+            name: Event name.
+            t_s: Event time; defaults to the wall clock now.
+            cat: Chrome-trace category.
+            track: Timeline lane; defaults to the tracer's current track.
+            **args: Attributes for the trace viewer.
+        """
+        if not self.enabled:
+            return
+        self.instants.append(
+            {
+                "name": name,
+                "cat": cat,
+                "t_s": self._now() if t_s is None else t_s,
+                "track": track if track is not None else self.track,
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, value: float, t_s: Optional[float] = None) -> None:
+        """Record one sample of a numeric time series (Chrome ``C`` event).
+
+        Args:
+            name: Counter name.
+            value: Sample value.
+            t_s: Sample time; defaults to the wall clock now.
+        """
+        if not self.enabled:
+            return
+        self.counters.append(
+            {
+                "name": name,
+                "t_s": self._now() if t_s is None else t_s,
+                "value": value,
+                "track": self.track,
+            }
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since tracer creation on the wall clock (0 if disabled)."""
+        if not self.enabled:
+            return 0.0
+        return self._now()
+
+    @property
+    def depth(self) -> int:
+        """Current wall-clock span nesting depth (open spans)."""
+        return len(self._stack)
+
+    def by_name(self, name: str) -> List[Span]:
+        """All recorded spans with the given name, in record order."""
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        """Drop every recorded span, instant, and counter sample."""
+        self.spans.clear()
+        self.instants.clear()
+        self.counters.clear()
+        self._seq = 0
+
+
+#: Always-disabled tracer used as the process-wide default: importing
+#: modules can call ``get_tracer().span(...)`` unconditionally and pay
+#: nothing until someone opts in via :func:`enable_tracing`.
+NULL_TRACER = Tracer(enabled=False)
+
+_current: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (the disabled ``NULL_TRACER`` by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer and return it."""
+    global _current
+    _current = tracer
+    return tracer
+
+
+def enable_tracing(clock: Callable[[], float] = time.perf_counter) -> Tracer:
+    """Install and return a fresh enabled process-wide tracer.
+
+    Args:
+        clock: Seconds-returning callable for wall-clock spans.
+
+    Returns:
+        The newly installed :class:`Tracer`.
+    """
+    return set_tracer(Tracer(enabled=True, clock=clock))
+
+
+def disable_tracing() -> None:
+    """Restore the disabled default tracer (recorded data is kept on the
+    old tracer object if the caller still holds a reference)."""
+    set_tracer(NULL_TRACER)

@@ -1,0 +1,127 @@
+"""Documentation consistency checks.
+
+The docs promise CLI surface; the argparse tree delivers it.  These
+tests keep the two from drifting: every ``--flag`` mentioned anywhere in
+the markdown docs must exist on some ``repro`` subcommand, and every
+subcommand must be documented in the README.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import TRACEABLE_COMMANDS, build_parser
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose flag mentions must match the CLI.
+DOC_FILES = sorted(
+    p for p in [
+        REPO / "README.md",
+        REPO / "DESIGN.md",
+        REPO / "EXPERIMENTS.md",
+        *(REPO / "docs").glob("*.md"),
+    ]
+    if p.exists()
+)
+
+#: Flags of *other* tools that the docs legitimately mention.
+EXTERNAL_FLAGS = {
+    "--benchmark-only",   # pytest-benchmark
+    "--benchmark-json",   # pytest-benchmark
+    "--cov",              # pytest-cov
+}
+
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def walk_parsers(parser):
+    """Yield every (sub)parser in the argparse tree, root included."""
+    yield parser
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            seen = set()
+            for sub in action.choices.values():
+                if id(sub) not in seen:
+                    seen.add(id(sub))
+                    yield from walk_parsers(sub)
+
+
+def cli_flags():
+    """Every option string any repro subcommand accepts."""
+    flags = set()
+    for parser in walk_parsers(build_parser()):
+        for action in parser._actions:
+            flags.update(action.option_strings)
+    return flags
+
+
+def cli_subcommands():
+    """Top-level subcommand names from the argparse tree."""
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise AssertionError("repro parser has no subparsers")
+
+
+def documented_flags(path):
+    return set(FLAG_RE.findall(path.read_text()))
+
+
+def test_doc_files_exist():
+    names = {p.name for p in DOC_FILES}
+    assert {"README.md", "DESIGN.md", "EXPERIMENTS.md",
+            "architecture.md", "observability.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_every_documented_flag_exists(path):
+    known = cli_flags() | EXTERNAL_FLAGS
+    unknown = documented_flags(path) - known
+    assert not unknown, (
+        f"{path.name} documents flags the CLI does not have: "
+        f"{sorted(unknown)}"
+    )
+
+
+def test_every_subcommand_documented_in_readme():
+    readme = (REPO / "README.md").read_text()
+    missing = {
+        cmd for cmd in cli_subcommands()
+        if not re.search(rf"\brepro {cmd}\b", readme)
+    }
+    assert not missing, f"README.md never shows: {sorted(missing)}"
+
+
+def test_readme_documents_engine_flags():
+    """The quickstart table must cover the engine's headline flags."""
+    readme_flags = documented_flags(REPO / "README.md")
+    assert {"--jobs", "--cache-dir", "--checkpoint", "--resume",
+            "--trace", "--metrics-out"} <= readme_flags
+
+
+def test_trace_wraps_exactly_the_traceable_commands():
+    parser = build_parser()
+    trace = None
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            trace = action.choices["trace"]
+    for action in trace._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            assert set(action.choices) == set(TRACEABLE_COMMANDS)
+            return
+    raise AssertionError("repro trace has no nested subcommands")
+
+
+def test_traceable_commands_accept_obs_flags():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name in TRACEABLE_COMMANDS:
+                flags = set()
+                for sub_action in action.choices[name]._actions:
+                    flags.update(sub_action.option_strings)
+                assert {"--trace", "--metrics-out"} <= flags, name
