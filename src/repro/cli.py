@@ -13,6 +13,8 @@ Mirrors the artifact's make-target workflow with subcommands::
         --severities 0.25,0.5,1.0 --out resilience.json
     python -m repro trace mission hover        # profile: phase report
     python -m repro sweep --trace sweep.trace.json   # Perfetto-loadable
+    python -m repro lint                       # layering + determinism rules
+    python -m repro lint --format json         # machine report (CI gate)
 
 Observability: ``sweep``, ``mission``, and ``faults`` accept ``--trace``
 (Chrome trace-event JSON, open in https://ui.perfetto.dev) and
@@ -278,6 +280,36 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        Baseline,
+        default_baseline_path,
+        default_root,
+        render_json,
+        render_rule_list,
+        render_text,
+        run_lint,
+    )
+
+    if args.list:
+        print(render_rule_list())
+        return 0
+    root = Path(args.root) if args.root else default_root()
+    rules = args.rules.split(",") if args.rules else None
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path(root))
+    if args.update_baseline:
+        result = run_lint(root=root, rules=rules, use_baseline=False)
+        path = Baseline.from_findings(result.all_findings).save(baseline_path)
+        print(f"baseline  : {path} "
+              f"({len(result.all_findings)} finding(s) grandfathered)")
+        return 0
+    result = run_lint(root=root, rules=rules, baseline_path=baseline_path)
+    print(render_json(result) if args.format == "json"
+          else render_text(result))
+    return 0 if result.clean else 1
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     """The shared observability export flags (--trace / --metrics-out)."""
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -346,6 +378,26 @@ def _add_faults_args(p: argparse.ArgumentParser) -> None:
     _add_obs_args(p)
 
 
+def _add_lint_args(p: argparse.ArgumentParser) -> None:
+    """The static-analysis flag set (``repro lint``)."""
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (json is canonical for CI)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run "
+                        "(default: all; see --list)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline file for grandfathered findings "
+                        "(default: lint-baseline.json at the repo root)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="grandfather the current findings into the "
+                        "baseline and exit")
+    p.add_argument("--root", default=None, metavar="PATH",
+                   help="package directory to scan "
+                        "(default: the installed repro package)")
+    p.add_argument("--list", action="store_true",
+                   help="list the rule catalog and exit")
+
+
 #: Commands ``repro trace`` can wrap with a phase report.
 TRACEABLE_COMMANDS = ("sweep", "mission", "faults")
 
@@ -390,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults_args(faults)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis: layering + determinism rules"
+    )
+    _add_lint_args(lint)
+
     trace = sub.add_parser(
         "trace",
         help="run a command with tracing on and print a phase report",
@@ -415,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tables": _cmd_tables,
         "mission": _cmd_mission,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
     }
     command = args.command
     report = command == "trace"

@@ -1,0 +1,91 @@
+"""The committed-baseline mechanism for grandfathered findings.
+
+A baseline is a JSON file mapping finding fingerprints (rule, path,
+message — deliberately no line numbers, see
+:meth:`repro.lint.rules.Finding.fingerprint`) to occurrence counts.
+Findings that match a baseline entry are *grandfathered*: reported in
+the summary but not as failures, so a new rule can land before every
+historical violation is fixed, while any **new** violation still gates.
+
+Workflow::
+
+    python -m repro lint                      # new findings fail
+    python -m repro lint --update-baseline    # grandfather the current set
+
+Baseline entries that no longer match anything are reported as *stale*
+so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.rules import Finding
+
+#: On-disk format version, bumped on incompatible changes.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed occurrence count."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        counts = {str(k): int(v) for k, v in data.get("findings", {}).items()}
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Build the baseline that grandfathers exactly ``findings``."""
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts=counts)
+
+    def save(self, path: Path) -> Path:
+        """Write the canonical (sorted, versioned) baseline file."""
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[str]]:
+        """Split findings into (new, grandfathered count, stale entries).
+
+        Each fingerprint absorbs up to its recorded count of matching
+        findings; the overflow and every unmatched fingerprint are
+        returned for reporting.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = sorted(k for k, count in remaining.items() if count > 0)
+        return new, baselined, stale

@@ -1,0 +1,241 @@
+"""The lint runner: scan, parse once, dispatch rules, apply suppressions.
+
+One :func:`run_lint` call walks a package root (``src/repro`` by
+default) in sorted order, parses every file exactly once, hands the
+modules to each per-file rule and the import graph to each
+whole-program rule, then filters the findings through the suppression
+pragmas and the committed baseline.  Everything downstream — the text
+and JSON reporters, the CLI exit code, the pytest entry point — works
+off the returned :class:`LintResult`.
+
+Suppression pragma::
+
+    risky_call()  # repro: lint-ignore[iteration-order]
+    # repro: lint-ignore[no-wall-clock,no-unseeded-rng]  (next line)
+    # repro: lint-ignore  (all rules, same/next line)
+
+A pragma naming a rule id that does not exist is itself a finding
+(``pragma-hygiene``), so typos cannot silently disable a check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.rules import (
+    Finding,
+    ImportGraph,
+    Module,
+    Rule,
+    all_rules,
+    build_import_graph,
+    get_rule,
+    register_rule,
+    rule_ids,
+)
+
+#: Matches ``# repro: lint-ignore`` and ``# repro: lint-ignore[a,b]``.
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+#: Sentinel meaning "suppress every rule on this line".
+ALL_RULES = "*"
+
+
+class PragmaHygieneRule(Rule):
+    """Suppression pragmas must name real rule ids.
+
+    Implemented by the engine itself (pragmas are an engine concept),
+    registered here so the id shows up in the catalog, the docs test,
+    and ``repro lint --list`` like any other rule.
+    """
+
+    id = "pragma-hygiene"
+    summary = "lint-ignore pragmas must name registered rule ids"
+    rationale = (
+        "a typo in a suppression would otherwise silently disable "
+        "nothing and hide the intent"
+    )
+
+
+register_rule(PragmaHygieneRule())
+
+
+@dataclass
+class Suppressions:
+    """Per-line suppression table for one module."""
+
+    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` is suppressed on ``line``."""
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule_id in rules
+
+
+def scan_pragmas(module: Module) -> Tuple[Suppressions, List[Finding]]:
+    """Extract the suppression table and any pragma-hygiene findings.
+
+    A pragma applies to its own line; a standalone comment line applies
+    to the following line as well, covering both placement styles.
+    """
+    suppressions = Suppressions()
+    findings: List[Finding] = []
+    known = set(rule_ids())
+    for lineno, text in enumerate(module.lines, start=1):
+        match = PRAGMA_RE.search(text)
+        if not match:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            rules: Set[str] = {ALL_RULES}
+        else:
+            rules = {r.strip() for r in raw.split(",") if r.strip()}
+            for rule_id in sorted(rules - known):
+                findings.append(Finding(
+                    rule="pragma-hygiene", path=module.relpath, line=lineno,
+                    message=f"pragma suppresses unknown rule {rule_id!r}",
+                ))
+        targets = [lineno]
+        if text.lstrip().startswith("#"):
+            targets.append(lineno + 1)
+        for target in targets:
+            merged = set(suppressions.by_line.get(target, frozenset()))
+            merged |= rules
+            suppressions.by_line[target] = frozenset(merged)
+    return suppressions, findings
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def default_baseline_path(root: Path) -> Path:
+    """The committed baseline next to the repo root: ``lint-baseline.json``."""
+    return root.parents[1] / "lint-baseline.json"
+
+
+def scan_root(root: Path) -> List[Module]:
+    """Parse every ``*.py`` under ``root`` into :class:`Module` objects.
+
+    The walk is sorted — the linter obeys the determinism rules it
+    enforces — and module names are derived from the root directory
+    name, so synthetic test trees work the same as ``src/repro``.
+    """
+    modules: List[Module] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.parts)
+        if parts[-1] == "__init__.py":
+            dotted = [root.name] + parts[:-1]
+        else:
+            dotted = [root.name] + parts[:-1] + [rel.stem]
+        text = path.read_text()
+        modules.append(Module(
+            path=path,
+            relpath=f"{root.name}/{rel.as_posix()}",
+            name=".".join(dotted),
+            tree=ast.parse(text, filename=str(path)),
+            lines=text.splitlines(),
+        ))
+    return modules
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-rendered for reporters."""
+
+    findings: List[Finding]  #: new findings (post-suppression, post-baseline)
+    all_findings: List[Finding]  #: post-suppression, pre-baseline
+    suppressed: int  #: findings silenced by pragmas
+    baselined: int  #: findings matched by the committed baseline
+    stale_baseline: List[str]  #: baseline fingerprints that matched nothing
+    files: int  #: modules scanned
+    rules: List[str]  #: rule ids that ran
+
+    @property
+    def clean(self) -> bool:
+        """True when no new findings remain."""
+        return not self.findings
+
+
+def select_rules(rules: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve a rule-id filter to rule objects (all rules when None)."""
+    if rules is None:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in rules]
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+    use_baseline: bool = True,
+) -> LintResult:
+    """Run the framework over ``root`` and return the filtered result.
+
+    Args:
+        root: Package directory to scan (default: the installed
+            ``src/repro``).
+        rules: Rule-id filter; None runs every registered rule.
+        baseline_path: Baseline file (default:
+            ``<repo>/lint-baseline.json`` relative to ``root``; a
+            missing file is an empty baseline).
+        use_baseline: Set False to report grandfathered findings too.
+    """
+    root = Path(root) if root is not None else default_root()
+    selected = select_rules(rules)
+    selected_ids = {rule.id for rule in selected}
+    modules = scan_root(root)
+    graph = build_import_graph(modules)
+
+    suppression_of: Dict[str, Suppressions] = {}
+    collected: List[Finding] = []
+    for module in modules:
+        suppressions, pragma_findings = scan_pragmas(module)
+        suppression_of[module.relpath] = suppressions
+        if "pragma-hygiene" in selected_ids:
+            collected.extend(pragma_findings)
+        for rule in selected:
+            collected.extend(rule.check_module(module))
+    for rule in selected:
+        collected.extend(rule.check_program(modules, graph))
+
+    raw: List[Finding] = []
+    suppressed = 0
+    for finding in collected:
+        table = suppression_of.get(finding.path)
+        if table is not None and table.covers(finding.line, finding.rule):
+            suppressed += 1
+        else:
+            raw.append(finding)
+
+    raw.sort(key=Finding.sort_key)
+
+    if use_baseline:
+        baseline = Baseline.load(
+            baseline_path if baseline_path is not None
+            else default_baseline_path(root)
+        )
+        new, baselined, stale = baseline.apply(raw)
+    else:
+        new, baselined, stale = list(raw), 0, []
+
+    return LintResult(
+        findings=new,
+        all_findings=raw,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        files=len(modules),
+        rules=sorted(rule.id for rule in selected),
+    )

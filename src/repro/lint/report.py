@@ -1,0 +1,67 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Two formats: human text (grouped by file, one finding per line, summary
+last) and machine JSON (canonical key order, stable across runs — the
+CI gate diffs it).  Both render only what the engine already computed;
+no rule logic lives here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import all_rules
+
+#: JSON report format version.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: findings per file plus a summary line."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: [{finding.rule}] "
+            f"{finding.message}"
+        )
+    if lines:
+        lines.append("")
+    status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"{status}: {result.files} files, {len(result.rules)} rules, "
+        f"{result.suppressed} suppressed, {result.baselined} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entrie(s)"
+    )
+    for stale in result.stale_baseline:
+        lines.append(f"stale baseline entry (fixed? prune it): {stale}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Canonical JSON report (sorted keys, deterministic ordering)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "rules": result.rules,
+        "summary": {
+            "files": result.files,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline": len(result.stale_baseline),
+            "clean": result.clean,
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "stale_baseline": result.stale_baseline,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``repro lint --list`` catalog: id, summary, rationale."""
+    lines = [f"{'rule':22s} summary", "-" * 72]
+    for rule in all_rules():
+        lines.append(f"{rule.id:22s} {rule.summary}")
+        lines.append(f"{'':22s}   why: {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""Core types of the static-analysis framework: findings, modules, rules.
+
+A *rule* inspects parsed modules and yields :class:`Finding` objects.
+Per-file rules implement :meth:`Rule.check_module`; whole-program rules
+(the layering analysis) implement :meth:`Rule.check_program` and see
+every module plus the import graph at once.  Rules register themselves
+into a process-wide registry keyed by a short, documented rule id — the
+same id the suppression pragma and the baseline file use.
+
+Everything here is standard library only: the linter must be importable
+(and fast) in contexts where numpy is not, and it must obey the same
+layering discipline it enforces (``repro.lint`` is an import leaf).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``message`` is deliberately line-number free so that a finding's
+    :meth:`fingerprint` survives unrelated edits above it — that is what
+    makes the committed baseline file stable across refactors.
+    """
+
+    rule: str
+    path: str  #: package-relative posix path, e.g. ``repro/engine/executor.py``
+    line: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline file (no line numbers)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def sort_key(self) -> tuple:
+        """Canonical ordering: path, then line, then rule, then message."""
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-reporter representation."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """A parsed source file handed to every rule.
+
+    The engine parses each file exactly once; rules share the tree and
+    the raw source lines (the latter drive pragma detection).
+    """
+
+    path: Path  #: absolute filesystem path
+    relpath: str  #: package-relative posix path (``repro/obs/tracer.py``)
+    name: str  #: dotted module name (``repro.obs.tracer``)
+    tree: ast.Module
+    lines: List[str]
+
+
+class Rule:
+    """Base class for all checkers.
+
+    Subclasses set :attr:`id`, :attr:`summary`, and :attr:`rationale`
+    (the doc catalog is asserted against these in ``tests/test_lint.py``)
+    and override one of the two hooks.
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        """Yield findings for one file; default checks nothing."""
+        return ()
+
+    def check_program(
+        self, modules: Sequence[Module], graph: "ImportGraph"
+    ) -> Iterable[Finding]:
+        """Yield whole-program findings; default checks nothing."""
+        return ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry (id collisions are programmer error)."""
+    if not rule.id:
+        raise ValueError(f"rule {rule!r} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def rule_ids() -> List[str]:
+    """All registered rule ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (KeyError with the known ids otherwise)."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(rule_ids())}"
+        ) from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    return [_REGISTRY[rid] for rid in rule_ids()]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, attributed to its source location.
+
+    ``deferred`` marks imports that happen inside a function or method
+    body — lazy imports, which the layering rule may treat differently
+    (the ``core -> engine`` delegation seam is deferred-only).
+    """
+
+    src_module: str
+    target: str
+    path: str
+    line: int
+    deferred: bool
+
+
+@dataclass
+class ImportGraph:
+    """All intra-repo import edges plus the scanned module names."""
+
+    edges: List[ImportEdge] = field(default_factory=list)
+    module_names: List[str] = field(default_factory=list)
+
+    def edges_from(self, module_name: str) -> List[ImportEdge]:
+        """Edges whose source is ``module_name`` (in file order)."""
+        return [e for e in self.edges if e.src_module == module_name]
+
+
+def _resolve_relative(module_name: str, level: int, base: Optional[str]) -> str:
+    """Resolve a ``from ... import`` target for relative imports."""
+    if level == 0:
+        return base or ""
+    parts = module_name.split(".")
+    # level 1 from a module means "its package": drop the module leaf.
+    anchor = parts[: len(parts) - level] if len(parts) >= level else []
+    if base:
+        anchor = anchor + [base]
+    return ".".join(anchor)
+
+
+def build_import_graph(modules: Sequence[Module]) -> ImportGraph:
+    """Collect every import edge from every module, tagging deferred ones."""
+    graph = ImportGraph(module_names=[m.name for m in modules])
+    for module in modules:
+        _collect_edges(module, module.tree, deferred=False, graph=graph)
+    return graph
+
+
+def _collect_edges(
+    module: Module, node: ast.AST, deferred: bool, graph: ImportGraph
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        child_deferred = deferred or isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        if isinstance(child, ast.Import):
+            for alias in child.names:
+                graph.edges.append(ImportEdge(
+                    src_module=module.name, target=alias.name,
+                    path=module.relpath, line=child.lineno,
+                    deferred=deferred,
+                ))
+        elif isinstance(child, ast.ImportFrom):
+            base = _resolve_relative(module.name, child.level, child.module)
+            for alias in child.names:
+                # ``from repro.x import y``: y may be a submodule or a
+                # symbol; record the joined candidate when it names a
+                # scanned module, else the base package.
+                joined = f"{base}.{alias.name}" if base else alias.name
+                target = joined if joined in graph.module_names else base
+                graph.edges.append(ImportEdge(
+                    src_module=module.name, target=target,
+                    path=module.relpath, line=child.lineno,
+                    deferred=deferred,
+                ))
+        else:
+            _collect_edges(module, child, child_deferred, graph)
+
+
+@dataclass
+class ImportAliases:
+    """Name-resolution table for one module, shared by the AST checkers.
+
+    Maps local names to the canonical dotted thing they refer to:
+    ``np -> numpy`` (module alias), ``perf_counter -> time.perf_counter``
+    (symbol alias).  :meth:`resolve` then turns any ``Name`` /
+    ``Attribute`` chain into its canonical dotted path, so checkers can
+    match ``time.perf_counter`` however it was imported.
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    symbols: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportAliases":
+        """Walk every import statement (any depth) into an alias table."""
+        aliases = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c->a.b.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    aliases.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases.symbols[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name for a Name/Attribute chain, if known."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        head = node.id
+        if head in self.modules:
+            return ".".join([self.modules[head]] + parts)
+        if head in self.symbols:
+            return ".".join([self.symbols[head]] + parts)
+        return ".".join([head] + parts) if parts else head
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterable[Tuple[ast.AST, List[ast.AST]]]:
+    """Yield ``(node, ancestors)`` pairs, ancestors innermost-last."""
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterable[Tuple[ast.AST, List[ast.AST]]]:
+        yield node, list(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)

@@ -74,7 +74,8 @@ def documented_flags(path):
 def test_doc_files_exist():
     names = {p.name for p in DOC_FILES}
     assert {"README.md", "DESIGN.md", "EXPERIMENTS.md",
-            "architecture.md", "observability.md"} <= names
+            "architecture.md", "observability.md",
+            "static-analysis.md"} <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
@@ -101,6 +102,18 @@ def test_readme_documents_engine_flags():
     readme_flags = documented_flags(REPO / "README.md")
     assert {"--jobs", "--cache-dir", "--checkpoint", "--resume",
             "--trace", "--metrics-out"} <= readme_flags
+
+
+def test_readme_documents_lint_flags():
+    """The CLI table must cover the lint subcommand's full surface."""
+    readme_flags = documented_flags(REPO / "README.md")
+    assert {"--format", "--rules", "--baseline", "--update-baseline",
+            "--root", "--list"} <= readme_flags
+
+
+def test_lint_subcommand_exists_and_is_not_traceable():
+    assert "lint" in cli_subcommands()
+    assert "lint" not in TRACEABLE_COMMANDS
 
 
 def test_trace_wraps_exactly_the_traceable_commands():

@@ -1,65 +1,31 @@
-"""Docstring-coverage lint for the public observability-adjacent API.
+"""Docstring-coverage gate for the public observability-adjacent API.
 
-A lightweight, dependency-free stand-in for pydocstyle's D100-D103:
-every module, public class, and public function/method in
-``repro.engine``, ``repro.faults``, and ``repro.obs`` must carry a
-docstring.  Runs as part of the suite (and the CI docs job) so coverage
-cannot regress silently.
+The actual checking moved into the ``docstring-coverage`` rule of
+``repro.lint`` (one AST walk shared with ``repro lint`` and CI); this
+file is the thin pytest wrapper that keeps the historical entry point —
+the CI docs job runs it by name — and pins the linted scope so it
+cannot shrink silently.
 """
 
-import ast
-from pathlib import Path
-
-import pytest
-
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: Packages whose public API must be fully documented.
-LINTED_PACKAGES = ("engine", "faults", "obs")
-
-MODULES = sorted(
-    path
-    for package in LINTED_PACKAGES
-    for path in (SRC / package).rglob("*.py")
-)
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _missing_docstrings(path: Path):
-    """Yield ``"kind name (line)"`` for each undocumented public def."""
-    tree = ast.parse(path.read_text())
-    if ast.get_docstring(tree) is None:
-        yield "module (line 1)"
-
-    def walk(node, prefix=""):
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.ClassDef):
-                if _is_public(child.name):
-                    if ast.get_docstring(child) is None:
-                        yield f"class {prefix}{child.name} (line {child.lineno})"
-                    yield from walk(child, prefix=f"{child.name}.")
-            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                # Dunders document themselves by convention; private
-                # helpers are exempt; nested closures are not public API.
-                if _is_public(child.name) and ast.get_docstring(child) is None:
-                    yield f"def {prefix}{child.name} (line {child.lineno})"
-
-    yield from walk(tree)
+from repro.lint import default_root, run_lint, scan_root
+from repro.lint.checkers import DOC_PACKAGES
 
 
 def test_lint_scope_is_nonempty():
-    assert len(MODULES) >= 10, "lint scope lost its modules"
+    covered = [
+        module
+        for module in scan_root(default_root())
+        if module.relpath.split("/")[1] in DOC_PACKAGES
+    ]
+    assert len(covered) >= 10, "docstring lint scope lost its modules"
 
 
-@pytest.mark.parametrize(
-    "path", MODULES, ids=lambda p: str(p.relative_to(SRC))
-)
-def test_public_api_has_docstrings(path):
-    missing = list(_missing_docstrings(path))
-    assert not missing, (
-        f"{path.relative_to(SRC.parent)} lacks docstrings on: "
-        + "; ".join(missing)
+def test_scope_covers_the_observability_adjacent_packages():
+    assert set(DOC_PACKAGES) >= {"engine", "faults", "lint", "obs"}
+
+
+def test_public_api_has_docstrings():
+    result = run_lint(rules=["docstring-coverage"], use_baseline=False)
+    assert not result.findings, "\n".join(
+        f"{f.path}:{f.line}: {f.message}" for f in result.findings
     )
