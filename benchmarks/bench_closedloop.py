@@ -8,7 +8,7 @@
 
 import pytest
 
-from repro.closedloop import FlappingWingRunner, HoverMission, SteeringCourse, StriderRunner
+from repro.api import FlappingWingRunner, HoverMission, SteeringCourse, StriderRunner
 from repro.mcu.arch import M0PLUS, M4, M33
 
 

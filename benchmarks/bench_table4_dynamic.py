@@ -30,7 +30,7 @@ OVERRIDES = {
 
 @pytest.fixture(scope="module")
 def table4_spec():
-    from repro.core.experiment import SweepSpec
+    from repro.api import SweepSpec
     from repro.mcu.arch import CHARACTERIZATION_ARCHS
 
     return SweepSpec(
@@ -45,17 +45,18 @@ def table4_spec():
 def trace_cache():
     # Shared across this module's tests: the full-suite sweep warms it,
     # the warm-repricing benchmark then re-prices without a single solve.
-    from repro.engine import TraceCache
+    from repro.api import TraceCache
 
     return TraceCache()
 
 
 @pytest.fixture(scope="module")
 def sweep(table4_spec, trace_cache):
-    from repro.engine import EngineOptions, Telemetry, run_sweep_engine
+    from repro.api import EngineOptions, Telemetry
+    from repro.api import sweep as run_sweep
 
     telemetry = Telemetry()
-    results = run_sweep_engine(
+    results = run_sweep(
         table4_spec,
         options=EngineOptions(jobs=2, trace_cache=trace_cache),
         telemetry=telemetry,
@@ -116,12 +117,13 @@ def test_table4_engine_warm_repricing(benchmark, artifact_dir, table4_spec,
     """
     import json
 
+    from repro.api import EngineOptions, Telemetry
+    from repro.api import sweep as run_sweep
     from repro.core.experiment_io import save_telemetry_json
-    from repro.engine import EngineOptions, Telemetry, run_sweep_engine
 
     def warm_run():
         telemetry = Telemetry()
-        results = run_sweep_engine(
+        results = run_sweep(
             table4_spec,
             options=EngineOptions(trace_cache=trace_cache),
             telemetry=telemetry,

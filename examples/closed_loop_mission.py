@@ -15,7 +15,7 @@ compute-autonomy gap made visible end to end.
 Run:  python examples/closed_loop_mission.py
 """
 
-from repro.closedloop import (
+from repro.api import (
     FlappingWingRunner,
     HoverMission,
     SteeringCourse,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.faults import FaultCampaignSpec, build_report, run_campaign
+from repro.api import CampaignSpec, build_report, get_fault, run_campaign
 
 #: Fault models the study sweeps by default (one campaign each).
 STUDY_FAULTS: Tuple[str, ...] = ("brownout", "battery", "dvfs", "imu-dropout")
@@ -48,10 +48,8 @@ def resilience_matrix(
     """
     rows: List[Dict] = []
     for fault_name in faults:
-        from repro.faults import get_fault
-
         fault = get_fault(fault_name)
-        spec = FaultCampaignSpec(
+        spec = CampaignSpec(
             fault=fault_name,
             severities=tuple(severities),
             missions=missions,
@@ -89,7 +87,7 @@ def brownout_envelope(
     grid = tuple(severities) if severities is not None else (
         0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0
     )
-    spec = FaultCampaignSpec(
+    spec = CampaignSpec(
         fault="brownout", severities=grid, missions=("hover",),
         kernels=kernels, archs=archs, seed=seed,
     )

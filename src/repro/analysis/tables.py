@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.api import EngineOptions, SweepResults, SweepSpec, sweep
 from repro.core import registry
 from repro.core.config import HarnessConfig
-from repro.core.experiment import SweepResults, SweepSpec, run_sweep
 from repro.core.results import si_format
 from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, ArchSpec
 from repro.mcu.cache import CACHE_OFF, CACHE_ON
@@ -97,15 +97,13 @@ def table4_dynamic(
     ``jobs``/``cache_dir``/``telemetry`` thread through to the execution
     engine: the table regenerates from cached traces when available.
     """
-    from repro.engine import EngineOptions
-
     spec = SweepSpec(
         kernels=list(kernels) if kernels is not None else list(TABLE_KERNELS),
         archs=archs if archs is not None else list(CHARACTERIZATION_ARCHS),
         caches=(CACHE_ON, CACHE_OFF),
         config=config if config is not None else HarnessConfig(reps=1, warmup_reps=0),
     )
-    return run_sweep(
+    return sweep(
         spec,
         options=EngineOptions(jobs=jobs, cache_dir=cache_dir),
         telemetry=telemetry,
@@ -191,8 +189,6 @@ def table6_perception(
     group: each kernel configuration solves once and re-prices across the
     three cores (the pre-engine driver re-executed it per core).
     """
-    from repro.engine import EngineOptions
-
     config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
     options = EngineOptions(jobs=jobs, cache_dir=cache_dir)
 
@@ -204,12 +200,12 @@ def table6_perception(
             config=config,
             overrides={"*": {"dataset": dataset}},
         )
-        sweep = run_sweep(spec, options=options)
+        results = sweep(spec, options=options)
         group_rows: Dict[str, Dict] = {}
         for kernel in kernels:
             row = {"kernel": kernel, "data": dataset}
             for arch in CHARACTERIZATION_ARCHS:
-                result = sweep.get(kernel, arch.name, "C")
+                result = results.get(kernel, arch.name, "C")
                 fits = result is not None and result.fits
                 row[f"energy_{arch.name}_uj"] = result.unit_energy_uj if fits else None
                 row[f"pmax_{arch.name}_mw"] = result.peak_power_mw if fits else None

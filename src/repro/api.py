@@ -1,0 +1,239 @@
+"""The single supported import surface for the benchmark framework.
+
+Four subsystem PRs grew four entry idioms: analysis code hand-builds
+:class:`SweepSpec` and drives the engine, the fault layer names its grid
+a ``FaultCampaignSpec``, closed-loop code instantiates runners directly,
+and the CLI wires each path by hand.  This facade harmonizes them behind
+one module:
+
+* **Spec constructors** — :class:`SweepSpec` (what to sweep),
+  :class:`MissionSpec` (what to fly), :class:`CampaignSpec` (what to
+  subject to faults; the canonical name for the fault layer's
+  ``FaultCampaignSpec``) and :class:`EngineOptions` (how to execute).
+* **Verbs** — :func:`characterize`, :func:`sweep`, :func:`run_mission`,
+  :func:`run_campaign`, and :func:`query` (one-shot service query).
+* **Service types** — :class:`ServiceBroker` and the query dataclasses,
+  for callers that hold a broker open across many queries.
+* **Toolkits** — the fault-report helpers (:func:`build_report`,
+  :func:`render_report`, :func:`save_report`, :func:`get_fault`,
+  :func:`fault_names`) and the closed-loop building blocks
+  (:class:`FlappingWingRunner`, :class:`StriderRunner` and their
+  missions) for custom studies the verb signatures don't cover.
+
+``__all__`` below is the *pinned* public surface: ``tests/test_api.py``
+snapshots it, so adding or removing a name is an explicit, reviewed act.
+Deprecated aliases (``FaultCampaignSpec``, ``characterize_suite``) live
+outside ``__all__`` behind a module ``__getattr__`` that warns once per
+process and forwards.  Examples, benchmarks, and analysis code import
+from here — enforced by the ``facade-only-imports`` lint rule.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Union
+
+from repro.closedloop import (
+    MISSION_NAMES,
+    FlappingWingRunner,
+    HoverMission,
+    MissionResult,
+    MissionSpec,
+    SteeringCourse,
+    StriderRunner,
+    WaypointMission,
+    make_mission,
+    make_runner,
+)
+from repro.core.config import HarnessConfig
+from repro.core.experiment import (
+    ResultKeyError,
+    SweepResults,
+    SweepSpec,
+)
+from repro.engine import EngineOptions, Telemetry, TraceCache
+from repro.faults import (
+    CampaignResult,
+    build_report,
+    fault_names,
+    get_fault,
+    render_report,
+    save_report,
+)
+from repro.faults import FaultCampaignSpec as CampaignSpec
+from repro.service import (
+    DEFAULT_PORT,
+    CampaignQuery,
+    CharacterizeQuery,
+    MissionQuery,
+    ServiceBroker,
+    ServiceClient,
+    ServiceServer,
+    parse_request,
+)
+
+__all__ = [
+    # specs / options
+    "CampaignSpec",
+    "EngineOptions",
+    "HarnessConfig",
+    "MissionSpec",
+    "SweepSpec",
+    "TraceCache",
+    # results / errors
+    "CampaignResult",
+    "MissionResult",
+    "ResultKeyError",
+    "SweepResults",
+    "Telemetry",
+    # verbs
+    "characterize",
+    "query",
+    "run_campaign",
+    "run_mission",
+    "sweep",
+    # fault toolkit
+    "build_report",
+    "fault_names",
+    "get_fault",
+    "render_report",
+    "save_report",
+    # closed-loop building blocks (custom runners / courses)
+    "FlappingWingRunner",
+    "HoverMission",
+    "SteeringCourse",
+    "StriderRunner",
+    "WaypointMission",
+    # service surface
+    "CampaignQuery",
+    "CharacterizeQuery",
+    "MissionQuery",
+    "ServiceBroker",
+    "ServiceClient",
+    "ServiceServer",
+    # constants
+    "DEFAULT_PORT",
+    "MISSION_NAMES",
+]
+
+
+def characterize(
+    kernels=None,
+    config: Optional[HarnessConfig] = None,
+    archs=None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    telemetry: Optional[Telemetry] = None,
+) -> SweepResults:
+    """Run the paper's workload characterization (Table IV).
+
+    The facade name for ``repro.core.experiment.characterize_suite``:
+    sweeps ``kernels`` (default: the full registered suite) across
+    ``archs`` (default: the paper's characterization cores), cache on
+    and off, through the execution engine.
+    """
+    from repro.core.experiment import characterize_suite
+
+    return characterize_suite(
+        kernels, config, archs,
+        jobs=jobs, cache_dir=cache_dir, telemetry=telemetry,
+    )
+
+
+def sweep(
+    spec: SweepSpec,
+    *,
+    options: Optional[EngineOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress=None,
+) -> SweepResults:
+    """Execute one :class:`SweepSpec` through the execution engine."""
+    from repro.core.experiment import run_sweep
+
+    return run_sweep(
+        spec, progress, options=options, telemetry=telemetry
+    )
+
+
+def run_mission(
+    spec: Union[MissionSpec, str],
+    arch: Optional[str] = None,
+) -> MissionResult:
+    """Fly one closed-loop mission and return its task-level result.
+
+    Accepts a :class:`MissionSpec` or a bare mission name (with ``arch``
+    defaulting per the spec).  Deterministic: the same spec always
+    produces a byte-identical result.
+    """
+    if isinstance(spec, str):
+        spec = MissionSpec(mission=spec, arch=arch if arch is not None else "m33")
+    elif arch is not None:
+        raise TypeError("pass arch inside the MissionSpec, not alongside it")
+    spec = spec.validated()
+    runner = make_runner(spec.mission, spec.arch)
+    return runner.run(make_mission(spec.mission))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    options: Optional[EngineOptions] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> CampaignResult:
+    """Execute one fault campaign (kernel grid + mission grid)."""
+    from repro.faults import run_campaign as _run_campaign
+
+    return _run_campaign(spec, jobs=jobs, options=options, telemetry=telemetry)
+
+
+def query(
+    request: Union[dict, CharacterizeQuery, MissionQuery, CampaignQuery],
+    broker: Optional[ServiceBroker] = None,
+    timeout: Optional[float] = None,
+) -> dict:
+    """Answer one benchmark query and return its JSON-ready payload.
+
+    ``request`` is a query dataclass or a wire-style dict
+    (``{"op": "characterize", "kernel": ..., ...}``).  With ``broker``
+    the query goes through that broker's cache and coalescing; without
+    one a transient broker answers it and shuts down — convenient, but
+    callers with query volume should hold a :class:`ServiceBroker` (or
+    run ``repro serve``) to actually reuse the cache.
+    """
+    q = parse_request(request) if isinstance(request, dict) else request
+    if broker is not None:
+        return broker.ask(q, timeout=timeout)
+    with ServiceBroker() as transient:
+        return transient.ask(q, timeout=timeout)
+
+
+#: Deprecated name -> (replacement public name, loader).  Access warns
+#: once per process and forwards; the names stay importable so existing
+#: code keeps working while the lint baseline drains.
+_DEPRECATED = {
+    "FaultCampaignSpec": "CampaignSpec",
+    "characterize_suite": "characterize",
+}
+
+_warned: set = set()
+
+
+def __getattr__(name: str):
+    """Forward deprecated aliases with a one-time DeprecationWarning."""
+    replacement = _DEPRECATED.get(name)
+    if replacement is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.api.{name} is deprecated; use repro.api.{replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return globals()[replacement]
+
+
+def __dir__() -> List[str]:
+    """Public surface plus the (deprecated) forwarding aliases."""
+    return sorted(set(__all__) | set(_DEPRECATED))

@@ -15,6 +15,8 @@ Mirrors the artifact's make-target workflow with subcommands::
     python -m repro sweep --trace sweep.trace.json   # Perfetto-loadable
     python -m repro lint                       # layering + determinism rules
     python -m repro lint --format json         # machine report (CI gate)
+    python -m repro serve --port 7453          # benchmark-query service
+    python -m repro query characterize --kernel mahony --arch m33
 
 Observability: ``sweep``, ``mission``, and ``faults`` accept ``--trace``
 (Chrome trace-event JSON, open in https://ui.perfetto.dev) and
@@ -198,24 +200,10 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_mission(args) -> int:
-    from repro.closedloop import (
-        FlappingWingRunner,
-        HoverMission,
-        SteeringCourse,
-        StriderRunner,
-        WaypointMission,
-    )
+    from repro.api import MissionSpec, run_mission
 
     arch = get_arch(args.arch)
-    if args.mission == "hover":
-        result = FlappingWingRunner(arch=arch).run(HoverMission())
-    elif args.mission == "waypoints":
-        result = FlappingWingRunner(arch=arch).run(WaypointMission())
-    elif args.mission == "steer":
-        result = StriderRunner(arch=arch).run(SteeringCourse())
-    else:
-        print(f"no such mission: {args.mission}", file=sys.stderr)
-        return 2
+    result = run_mission(MissionSpec(mission=args.mission, arch=args.arch))
     print(f"mission   : {result.name} on {arch.core}")
     print(f"completed : {result.completed}")
     print(f"path error: rms={result.path_error_rms_m:.4f} "
@@ -278,6 +266,85 @@ def _cmd_faults(args) -> int:
         path = save_report(report, args.out)
         print(f"\nsaved: {path}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.api import EngineOptions, ServiceBroker, ServiceServer
+
+    broker = ServiceBroker(
+        config=HarnessConfig(reps=args.reps, warmup_reps=args.warmup),
+        engine_options=EngineOptions(jobs=args.jobs, cache_dir=args.cache_dir),
+        capacity=args.capacity,
+        max_pending=args.max_pending,
+        campaign_jobs=args.jobs,
+    )
+    server = ServiceServer(broker, host=args.host, port=args.port)
+    host, port = server.address
+    try:
+        with server:
+            print(f"serving   : {host}:{port} (JSONL over TCP)")
+            print(f"try       : repro query characterize --kernel mahony "
+                  f"--port {port}")
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:  # serve until Ctrl-C
+                    time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.close()
+    print("stopped")
+    return 0
+
+
+def _service_request(args) -> dict:
+    """Assemble the JSONL wire request the query flags describe."""
+    request = {"op": args.op}
+    if args.op == "characterize":
+        if not args.kernel:
+            raise SystemExit("characterize needs --kernel")
+        request.update(kernel=args.kernel, arch=args.arch, cache=args.cache)
+    elif args.op == "mission":
+        request.update(mission=args.mission, arch=args.arch)
+    elif args.op == "campaign":
+        if not args.fault:
+            raise SystemExit("campaign needs --fault")
+        request.update(
+            fault=args.fault,
+            severities=[float(s) for s in args.severities.split(",")],
+            archs=args.archs.split(","),
+            seed=args.seed,
+            reps=args.reps,
+            warmup=args.warmup,
+        )
+        if args.kernels:
+            request["kernels"] = args.kernels.split(",")
+        if args.missions:
+            request["missions"] = args.missions.split(",")
+    return request
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.api import ServiceClient, query
+
+    request = _service_request(args)
+    if args.local:
+        if args.op in ("ping", "stats"):
+            print(f"--local answers benchmark queries, not {args.op}",
+                  file=sys.stderr)
+            return 2
+        payload = query(request, timeout=args.timeout)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        response = client.query(request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def _cmd_lint(args) -> int:
@@ -378,6 +445,64 @@ def _add_faults_args(p: argparse.ArgumentParser) -> None:
     _add_obs_args(p)
 
 
+def _add_serve_args(p: argparse.ArgumentParser) -> None:
+    """The query-service server flag set (``repro serve``)."""
+    from repro.service import DEFAULT_PORT
+
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: localhost only)")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help=f"TCP port (default: {DEFAULT_PORT}; 0 = ephemeral)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine solve workers behind the broker")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent trace-cache directory")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--capacity", type=int, default=1024,
+                   help="in-memory answer-cache entries (LRU beyond)")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="bounded submission queue (backpressure)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for N seconds then exit (default: forever)")
+
+
+def _add_query_args(p: argparse.ArgumentParser) -> None:
+    """The query-client flag set (``repro query``)."""
+    from repro.service import DEFAULT_PORT
+
+    p.add_argument("op",
+                   choices=("characterize", "mission", "campaign",
+                            "ping", "stats"),
+                   help="what to ask the service")
+    p.add_argument("--kernel", default=None,
+                   help="kernel to characterize")
+    p.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+    p.add_argument("--cache", default="C", choices=("C", "NC"),
+                   help="cache state for characterize cells")
+    p.add_argument("--mission", default="hover",
+                   help="mission name for mission queries")
+    p.add_argument("--fault", default=None,
+                   help="fault model for campaign queries")
+    p.add_argument("--severities", default="0.25,0.5,0.75,1.0",
+                   help="comma-separated campaign severities")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated campaign kernels")
+    p.add_argument("--missions", default=None,
+                   help="comma-separated campaign missions")
+    p.add_argument("--archs", default="m33",
+                   help="comma-separated campaign cores")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reps", type=int, default=1)
+    p.add_argument("--warmup", type=int, default=0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="seconds to wait for the answer")
+    p.add_argument("--local", action="store_true",
+                   help="answer in-process (no server needed)")
+
+
 def _add_lint_args(p: argparse.ArgumentParser) -> None:
     """The static-analysis flag set (``repro lint``)."""
     p.add_argument("--format", choices=("text", "json"), default="text",
@@ -447,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_lint_args(lint)
 
+    serve = sub.add_parser(
+        "serve", help="run the benchmark-query service (JSONL over TCP)"
+    )
+    _add_serve_args(serve)
+
+    query = sub.add_parser(
+        "query", help="ask the benchmark-query service one question"
+    )
+    _add_query_args(query)
+
     trace = sub.add_parser(
         "trace",
         help="run a command with tracing on and print a phase report",
@@ -473,6 +608,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "mission": _cmd_mission,
         "faults": _cmd_faults,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
     }
     command = args.command
     report = command == "trace"

@@ -7,23 +7,33 @@ completion rate, energy per mission).
 """
 
 from repro.closedloop.missions import (
+    MISSION_NAMES,
     HoverMission,
     MissionResult,
+    MissionSpec,
     SteeringCourse,
     WaypointMission,
+    control_period_s,
+    make_mission,
 )
 from repro.closedloop.runner import (
     FlappingWingRunner,
     MissionFaultHook,
     StriderRunner,
+    make_runner,
 )
 from repro.closedloop.simulator import FlappingWingBody, WaterStrider
 
 __all__ = [
+    "MISSION_NAMES",
     "HoverMission",
     "MissionResult",
+    "MissionSpec",
     "SteeringCourse",
     "WaypointMission",
+    "control_period_s",
+    "make_mission",
+    "make_runner",
     "FlappingWingRunner",
     "MissionFaultHook",
     "StriderRunner",

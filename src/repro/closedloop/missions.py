@@ -12,6 +12,49 @@ from typing import List, Optional
 
 import numpy as np
 
+#: The registered mission names, in canonical order.  This tuple is the
+#: single source of truth for every layer that enumerates missions (the
+#: CLI choices, fault campaigns, the query service).
+MISSION_NAMES = ("hover", "waypoints", "steer")
+
+
+@dataclass(frozen=True)
+class MissionSpec:
+    """What to fly: a registered mission on one core.
+
+    The closed-loop counterpart of :class:`~repro.core.experiment.SweepSpec`
+    and the fault layer's campaign spec — the canonical, hashable
+    description of one mission run that ``repro.api.run_mission`` and the
+    query service accept.
+    """
+
+    mission: str = "hover"
+    arch: str = "m33"
+
+    def validated(self) -> "MissionSpec":
+        """Return self after checking the mission name is registered."""
+        if self.mission not in MISSION_NAMES:
+            raise KeyError(
+                f"unknown mission {self.mission!r}; available: {MISSION_NAMES}"
+            )
+        return self
+
+
+def make_mission(name: str):
+    """Instantiate a registered mission by name (see :data:`MISSION_NAMES`)."""
+    if name == "hover":
+        return HoverMission()
+    if name == "waypoints":
+        return WaypointMission()
+    if name == "steer":
+        return SteeringCourse()
+    raise KeyError(f"unknown mission {name!r}; available: {MISSION_NAMES}")
+
+
+def control_period_s(mission_name: str) -> float:
+    """The control-loop period each mission's runner steps at (seconds)."""
+    return 1.0 / (200.0 if mission_name == "steer" else 2000.0)
+
 
 @dataclass(frozen=True)
 class MissionResult:

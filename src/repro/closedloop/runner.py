@@ -486,6 +486,29 @@ class StriderRunner:
         )
 
 
+def make_runner(
+    mission_name: str,
+    arch_name: str = "m33",
+    fault_hook: Optional[MissionFaultHook] = None,
+    telemetry=None,
+):
+    """Build the runner that flies ``mission_name`` on core ``arch_name``.
+
+    The single place the mission-name -> runner-class mapping lives:
+    the fault campaign planner, the query service, and
+    ``repro.api.run_mission`` all construct runners through here, so a
+    new mission type needs exactly one registration site.
+    """
+    from repro.mcu.arch import get_arch
+
+    arch = get_arch(arch_name)
+    if mission_name == "steer":
+        return StriderRunner(arch=arch, fault_hook=fault_hook,
+                             telemetry=telemetry)
+    return FlappingWingRunner(arch=arch, fault_hook=fault_hook,
+                              telemetry=telemetry)
+
+
 def _quat_to_matrix(q) -> np.ndarray:
     w, x, y, z = q
     return np.array(

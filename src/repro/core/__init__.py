@@ -2,6 +2,7 @@
 
 from repro.core.config import DEFAULT_CONFIG, HarnessConfig
 from repro.core.experiment import (
+    ResultKeyError,
     SweepResults,
     SweepSpec,
     characterize_suite,
@@ -16,6 +17,7 @@ from repro.scalar import F32, F64, ScalarType, parse_scalar, q
 __all__ = [
     "DEFAULT_CONFIG",
     "HarnessConfig",
+    "ResultKeyError",
     "SweepResults",
     "SweepSpec",
     "characterize_suite",

@@ -16,6 +16,7 @@ bit-identical to it in ``tests/test_engine.py``.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -25,6 +26,27 @@ from repro.core.harness import Harness
 from repro.core.results import BenchmarkResult
 from repro.mcu.arch import CHARACTERIZATION_ARCHS, ArchSpec
 from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+
+
+class ResultKeyError(KeyError):
+    """A ``(kernel, arch, cache[, scalar])`` cell missing from the results.
+
+    Raised by :meth:`SweepResults.lookup` instead of a bare dict miss so
+    callers (the fault campaign's grid join, the query service) can catch
+    the lookup failure specifically, and so the message names the nearest
+    indexed cell rather than echoing an opaque tuple.
+    """
+
+    def __init__(self, requested: tuple, suggestion: Optional[tuple] = None):
+        self.requested = requested
+        self.suggestion = suggestion
+        message = f"no result for cell {requested!r}"
+        if suggestion is not None:
+            message += f"; nearest indexed cell is {suggestion!r}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the prose.
+        return self.args[0]
 
 
 @dataclass
@@ -96,6 +118,34 @@ class SweepResults:
         if scalar is None:
             return self._index.get((kernel, arch, cache))
         return self._index.get((kernel, arch, cache, scalar))
+
+    def lookup(
+        self,
+        kernel: str,
+        arch: str,
+        cache: str = "C",
+        scalar: Optional[str] = None,
+    ) -> BenchmarkResult:
+        """Like :meth:`get`, but a miss raises :class:`ResultKeyError`.
+
+        The error carries the nearest indexed cell (by key similarity), so
+        a typo'd arch name or a stale cache label fails with an actionable
+        message instead of ``None`` propagating into downstream math.
+        """
+        found = self.get(kernel, arch, cache, scalar)
+        if found is not None:
+            return found
+        requested = (kernel, arch, cache) if scalar is None else (
+            kernel, arch, cache, scalar
+        )
+        candidates = [k for k in self._index if len(k) == len(requested)]
+        rendered = {"|".join(k): k for k in candidates}
+        near = difflib.get_close_matches(
+            "|".join(requested), sorted(rendered), n=1, cutoff=0.0
+        )
+        raise ResultKeyError(
+            requested, rendered[near[0]] if near else None
+        )
 
     def kernels(self) -> List[str]:
         seen: List[str] = []

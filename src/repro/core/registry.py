@@ -9,6 +9,7 @@ and users add new kernels by registering new factories — the framework's
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List
 
 from repro.core.problem import EntoProblem
@@ -65,6 +66,13 @@ def is_registered(name: str) -> bool:
 
 
 _loaded = False
+#: Loading must be race-free: the query service probes the registry from
+#: many client threads at once, and an unguarded flag let a second thread
+#: observe an empty registry while the first was still importing suites.
+#: The flag flips only after every suite import completes; re-entry from
+#: the same thread (a suite touching the registry during its own import)
+#: passes the RLock and re-imports harmlessly via ``sys.modules``.
+_load_lock = threading.RLock()
 
 
 def _ensure_loaded() -> None:
@@ -72,7 +80,15 @@ def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    _loaded = True
+    with _load_lock:
+        if _loaded:
+            return
+        _import_suites()
+        _loaded = True
+
+
+def _import_suites() -> None:
+    """Import every kernel package (their ``register`` calls populate us)."""
     # Imports are deferred to avoid circular imports at package init.
     import repro.perception.suite  # noqa: F401
     import repro.attitude.suite  # noqa: F401

@@ -28,7 +28,14 @@ driver (see ``tests/test_engine.py``).
 """
 
 from repro.engine.executor import EngineOptions, run_plan, run_sweep_engine
-from repro.engine.planner import Cell, SolveJob, SweepPlan, build_plan, solve_key
+from repro.engine.planner import (
+    Cell,
+    SolveJob,
+    SweepPlan,
+    build_cell_plan,
+    build_plan,
+    solve_key,
+)
 from repro.engine.profile import KernelProfile, price_profile, solve_profile
 from repro.engine.telemetry import (
     Telemetry,
@@ -48,6 +55,7 @@ __all__ = [
     "Telemetry",
     "TelemetryEvent",
     "TraceCache",
+    "build_cell_plan",
     "build_plan",
     "price_profile",
     "progress_subscriber",

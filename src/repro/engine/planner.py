@@ -147,6 +147,35 @@ class SweepPlan:
         return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
+def _make_job(kernel: str, kwargs: dict, config: HarnessConfig) -> SolveJob:
+    """Instantiate a throwaway probe and derive one kernel's solve job."""
+    probe = registry.create(kernel, **kwargs)
+    return SolveJob(
+        kernel=kernel,
+        factory_kwargs=kwargs,
+        reps=config.reps,
+        warmup_reps=config.warmup_reps,
+        problem_name=probe.name,
+        scalar=probe.scalar.name,
+        seed=probe.seed,
+        dataset=probe.dataset_name,
+        stage=probe.stage,
+        footprint=probe.footprint(),
+        key=solve_key(
+            kernel, kwargs, probe.scalar.name, probe.seed,
+            config.reps, config.warmup_reps,
+        ),
+    )
+
+
+def _assign_cell(cell: Cell, job: SolveJob, arch: ArchSpec) -> None:
+    """File a cell under its job as priced work or a planned memory skip."""
+    if check_fit(job.footprint, arch).fits:
+        job.priced_cells.append(cell)
+    else:
+        job.skip_cells.append(cell)
+
+
 def build_plan(spec) -> SweepPlan:
     """Expand a :class:`~repro.core.experiment.SweepSpec` into a plan.
 
@@ -163,24 +192,7 @@ def build_plan(spec) -> SweepPlan:
     for kernel in spec.kernels:
         if kernel in job_of_kernel:
             continue
-        kwargs = spec.factory_kwargs(kernel)
-        probe = registry.create(kernel, **kwargs)
-        job = SolveJob(
-            kernel=kernel,
-            factory_kwargs=kwargs,
-            reps=config.reps,
-            warmup_reps=config.warmup_reps,
-            problem_name=probe.name,
-            scalar=probe.scalar.name,
-            seed=probe.seed,
-            dataset=probe.dataset_name,
-            stage=probe.stage,
-            footprint=probe.footprint(),
-            key=solve_key(
-                kernel, kwargs, probe.scalar.name, probe.seed,
-                config.reps, config.warmup_reps,
-            ),
-        )
+        job = _make_job(kernel, spec.factory_kwargs(kernel), config)
         jobs.append(job)
         job_of_kernel[kernel] = job
 
@@ -194,11 +206,65 @@ def build_plan(spec) -> SweepPlan:
                     continue
                 seen.add(cell)
                 cells.append(cell)
-                job = job_of_kernel[kernel]
-                if check_fit(job.footprint, arch).fits:
-                    job.priced_cells.append(cell)
-                else:
-                    job.skip_cells.append(cell)
+                _assign_cell(cell, job_of_kernel[kernel], arch)
+
+    return SweepPlan(
+        cells=cells,
+        jobs=jobs,
+        archs=archs,
+        caches=caches,
+        job_of_kernel=job_of_kernel,
+        config=config,
+    )
+
+
+def build_cell_plan(
+    requests,
+    config: HarnessConfig = None,
+    overrides: Dict[str, dict] = None,
+) -> SweepPlan:
+    """Expand explicit ``(kernel, ArchSpec, CacheConfig)`` requests into a plan.
+
+    The batch entry point for the query service: where :func:`build_plan`
+    expands the full cross product of a :class:`SweepSpec`, this plans
+    exactly the cells requested — a coalesced batch of queries covers an
+    arbitrary, possibly sparse subset of the sweep grid, and planning the
+    cross product would solve kernels nobody asked about.
+
+    Duplicate requests collapse to one cell (first occurrence fixes the
+    collation position); kernels still share one :class:`SolveJob` per
+    configuration, so a batch of N queries against one kernel costs one
+    solve.  Because each cell prices independently from its job's profile,
+    results are byte-identical to the same cells planned via
+    :func:`build_plan` — batch composition cannot leak between cells.
+    """
+    config = (config if config is not None else HarnessConfig()).validated()
+    overrides = overrides or {}
+
+    def factory_kwargs(kernel: str) -> dict:
+        kwargs = dict(overrides.get("*", {}))
+        kwargs.update(overrides.get(kernel, {}))
+        return kwargs
+
+    archs: Dict[str, ArchSpec] = {}
+    caches: Dict[str, CacheConfig] = {}
+    jobs: List[SolveJob] = []
+    job_of_kernel: Dict[str, SolveJob] = {}
+    cells: List[Cell] = []
+    seen: set = set()
+    for kernel, arch, cache in requests:
+        cell = Cell(kernel, arch.name, cache.label)
+        if cell in seen:
+            continue
+        seen.add(cell)
+        cells.append(cell)
+        archs.setdefault(arch.name, arch)
+        caches.setdefault(cache.label, cache)
+        if kernel not in job_of_kernel:
+            job = _make_job(kernel, factory_kwargs(kernel), config)
+            jobs.append(job)
+            job_of_kernel[kernel] = job
+        _assign_cell(cell, job_of_kernel[kernel], arch)
 
     return SweepPlan(
         cells=cells,

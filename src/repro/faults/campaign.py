@@ -28,39 +28,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.closedloop import (
+    MISSION_NAMES,
+    control_period_s,
+    make_mission,
+    make_runner,
+)
 from repro.faults.base import FaultModel, check_severity, get_fault
 from repro.obs import get_metrics, get_tracer
-
-#: Mission registry: name -> (runner factory, mission factory).
-MISSION_NAMES = ("hover", "waypoints", "steer")
-
-
-def _make_mission(name: str):
-    from repro.closedloop import HoverMission, SteeringCourse, WaypointMission
-
-    if name == "hover":
-        return HoverMission()
-    if name == "waypoints":
-        return WaypointMission()
-    if name == "steer":
-        return SteeringCourse()
-    raise KeyError(f"unknown mission {name!r}; available: {MISSION_NAMES}")
-
-
-def _make_runner(mission_name: str, arch_name: str, fault_hook, telemetry=None):
-    from repro.closedloop import FlappingWingRunner, StriderRunner
-    from repro.mcu.arch import get_arch
-
-    arch = get_arch(arch_name)
-    if mission_name == "steer":
-        return StriderRunner(arch=arch, fault_hook=fault_hook,
-                             telemetry=telemetry)
-    return FlappingWingRunner(arch=arch, fault_hook=fault_hook,
-                              telemetry=telemetry)
-
-
-def _control_period_s(mission_name: str) -> float:
-    return 1.0 / (200.0 if mission_name == "steer" else 2000.0)
 
 
 @dataclass(frozen=True)
@@ -144,13 +119,13 @@ def _mission_worker(payload: tuple) -> dict:
     import repro.faults  # ensure the registry is populated in the worker
 
     fault = get_fault(fault_name)
-    mission = _make_mission(mission_name)
+    mission = make_mission(mission_name)
     hook = None
     if severity > 0.0 and "mission" in fault.kinds:
         hook = fault.mission_hook(
-            severity, seed, mission.duration_s, _control_period_s(mission_name)
+            severity, seed, mission.duration_s, control_period_s(mission_name)
         )
-    runner = _make_runner(mission_name, arch_name, hook)
+    runner = make_runner(mission_name, arch_name, fault_hook=hook)
     result = runner.run(mission)
     return {
         "mission": mission_name,
@@ -341,7 +316,10 @@ def run_kernel_grid(
         for arch in base_archs:
             budget_fn = getattr(fault, "peak_budget_w", None)
             for severity in spec.severity_grid():
-                result = results.get(kernel, label_of[(arch.name, severity)])
+                # A missing cell here is a planner bug, not a data gap:
+                # lookup raises a typed ResultKeyError instead of handing
+                # back None for the record math to trip over.
+                result = results.lookup(kernel, label_of[(arch.name, severity)])
                 record = {
                     "kernel": kernel,
                     "arch": arch.name,

@@ -58,6 +58,7 @@ class WallClockRule(Rule):
         "repro/obs/tracer.py",
         "repro/engine/telemetry.py",
         "repro/engine/executor.py",
+        "repro/service/broker.py",
     })
 
     def check_module(self, module: Module) -> Iterable[Finding]:
@@ -354,7 +355,7 @@ class MutableDefaultRule(Rule):
 
 #: Packages whose public API must be fully documented (was the scope of
 #: the old standalone ``tests/test_docstrings.py``; lint now dogfoods).
-DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs")
+DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs", "service")
 
 
 class DocstringRule(Rule):
@@ -367,7 +368,7 @@ class DocstringRule(Rule):
     """
 
     id = "docstring-coverage"
-    summary = "public API of engine/faults/lint/obs must be documented"
+    summary = "public API of engine/faults/lint/obs/service must be documented"
     rationale = (
         "the orchestration and tooling layers are the repo's public "
         "surface; undocumented API regresses silently without a gate"

@@ -45,6 +45,8 @@ DATA_MODULES: Tuple[str, ...] = ("datasets", "fixedpoint", "scalar")
 #: group name -> the top-level ``repro.*`` components it contains.
 GROUPS: Dict[str, Tuple[str, ...]] = {
     "cli": ("cli", "__main__", ""),  # "" is the root repro/__init__.py
+    "api": ("api",),
+    "service": ("service",),
     "analysis": ("analysis",),
     "lint": ("lint",),
     "engine": ("engine",),
@@ -62,11 +64,17 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
 #: This is the checked rule table; architecture.md renders it.
 ALLOWED: Dict[str, FrozenSet[str]] = {
     "cli": frozenset({
-        "analysis", "closedloop", "core", "data", "engine", "faults",
-        "lint", "mcu", "obs",
+        "analysis", "api", "closedloop", "core", "data", "engine",
+        "faults", "lint", "mcu", "obs", "service",
+    }),
+    "api": frozenset({
+        "closedloop", "core", "engine", "faults", "service",
+    }),
+    "service": frozenset({
+        "closedloop", "core", "engine", "faults", "mcu", "obs",
     }),
     "analysis": frozenset({
-        "core", "data", "engine", "faults", "kernels", "mcu",
+        "api", "core", "data", "kernels", "mcu",
     }),
     "lint": frozenset(),
     "faults": frozenset({

@@ -1,0 +1,59 @@
+"""Benchmark-query service: a coalescing, cache-backed broker.
+
+The ROADMAP's north star is a system that serves benchmark answers at
+production query volume.  Today's consumers (CLI, analysis studies,
+fault campaigns) each hand-build a :class:`~repro.core.experiment.SweepSpec`
+and drive :mod:`repro.engine` directly, so identical (kernel x arch x
+config) questions are re-solved per caller.  This package centralizes
+them behind one broker:
+
+* **Queries** (:mod:`repro.service.queries`) — small frozen dataclasses
+  (characterize a kernel cell, fly a mission, score a fault campaign)
+  with a content-address key derived with the same canonical-JSON +
+  sha256 scheme as the engine's trace cache.
+* **Result cache** (:mod:`repro.service.cache`) — an in-memory LRU over
+  answered payloads, keyed by that content address, with hit/miss
+  accounting surfaced through :mod:`repro.obs`.
+* **Broker** (:mod:`repro.service.broker`) — a bounded submission queue
+  (backpressure) drained by a single dispatcher thread that coalesces
+  duplicates (single-flight: N concurrent identical queries trigger one
+  solve) and batches distinct characterize cells into **one** engine
+  cell-plan, so a burst of queries costs one solve per distinct kernel
+  configuration.
+* **Server** (:mod:`repro.service.server`) — ``repro serve``'s local
+  JSONL-over-TCP front-end plus the matching ``repro query`` client.
+
+Determinism contract: answers are byte-identical to direct engine /
+closed-loop / campaign runs at any concurrency level — the broker only
+routes and caches; it never perturbs what it runs (asserted in
+``tests/test_service.py``).
+"""
+
+from repro.service.broker import BrokerClosed, ServiceBroker
+from repro.service.cache import ResultCache
+from repro.service.queries import (
+    CampaignQuery,
+    CharacterizeQuery,
+    MissionQuery,
+    mission_record,
+    parse_request,
+    query_key,
+    request_of,
+)
+from repro.service.server import DEFAULT_PORT, ServiceClient, ServiceServer
+
+__all__ = [
+    "BrokerClosed",
+    "DEFAULT_PORT",
+    "CampaignQuery",
+    "CharacterizeQuery",
+    "MissionQuery",
+    "ResultCache",
+    "ServiceBroker",
+    "ServiceClient",
+    "ServiceServer",
+    "mission_record",
+    "parse_request",
+    "query_key",
+    "request_of",
+]

@@ -1,0 +1,391 @@
+"""The coalescing, single-flight benchmark-query broker.
+
+Concurrency model — one bounded queue, one dispatcher:
+
+* Client threads :meth:`ServiceBroker.submit` tickets onto a bounded
+  ``queue.Queue``; a full queue blocks the caller, which **is** the
+  backpressure (the broker never buffers unboundedly ahead of the
+  engine).
+* A single dispatcher thread drains whatever is queued into one *batch*,
+  deduplicates it by content-address key (duplicates **coalesce**: they
+  wait on the first ticket's answer and count as cache hits), answers
+  what it can from the :class:`~repro.service.cache.ResultCache`, and
+  solves the rest — every uncached characterize cell in the batch goes
+  through **one** engine cell-plan
+  (:func:`repro.engine.build_cell_plan`), so N queries against one
+  kernel configuration cost one solve.
+* Because all solving happens on the dispatcher thread, identical
+  queries can never race into duplicate solves — the batch dedup plus
+  the serialized dispatch is the single-flight lock.
+
+Determinism: the dispatcher only routes; characterize answers come from
+the same planner/pricer as ``run_sweep`` (pricing is per-cell pure, so
+batch composition cannot leak between answers), missions and campaigns
+run the exact library entry points.  Payloads are therefore
+byte-identical to direct runs at any client concurrency — asserted in
+``tests/test_service.py``.
+
+This module is a sanctioned wall-clock seam (like the engine executor):
+queue-wait and batch latencies are real host time, exported as
+``*_wall_s`` metrics which the determinism checks exclude.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.closedloop import make_mission, make_runner
+from repro.core.config import HarnessConfig
+from repro.core.experiment_io import result_to_dict
+from repro.engine import EngineOptions, build_cell_plan, run_plan
+from repro.faults import run_campaign
+from repro.mcu.arch import get_arch
+from repro.obs import get_metrics, get_tracer
+from repro.service.cache import ResultCache
+from repro.service.queries import (
+    SERVICE_FORMAT_VERSION,
+    Query,
+    mission_record,
+    query_key,
+    query_kind,
+)
+
+
+class BrokerClosed(RuntimeError):
+    """Submission to a broker whose dispatcher has shut down."""
+
+
+#: Queue sentinel asking the dispatcher to finish and exit.
+_CLOSE = object()
+
+
+@dataclass
+class _Ticket:
+    """One submitted query awaiting its answer."""
+
+    query: Query
+    key: str
+    kind: str
+    submitted_s: float
+    done: threading.Event = field(default_factory=threading.Event)
+    payload: Optional[dict] = None
+    error: Optional[BaseException] = None
+
+
+class ServiceBroker:
+    """Accepts queries, coalesces duplicates, answers from cache or engine.
+
+    Args:
+        config: Harness configuration every characterize answer is priced
+            under (and part of every query's content address).
+        overrides: Kernel factory overrides, same schema as
+            :class:`~repro.core.experiment.SweepSpec.overrides`.
+        engine_options: Engine execution options; the broker pins one
+            shared trace cache onto them so successive batches reuse
+            solve profiles.
+        capacity: Answer-cache entries retained (LRU beyond that).
+        max_pending: Bound of the submission queue — the backpressure
+            knob; submitters block while it is full.
+        campaign_jobs: Process-pool width handed to campaign queries.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HarnessConfig] = None,
+        overrides: Optional[dict] = None,
+        engine_options: Optional[EngineOptions] = None,
+        capacity: int = 1024,
+        max_pending: int = 256,
+        campaign_jobs: int = 1,
+    ):
+        self.config = (config if config is not None else HarnessConfig()).validated()
+        self.overrides = dict(overrides or {})
+        options = engine_options if engine_options is not None else EngineOptions()
+        if options.trace_cache is None:
+            options = replace(options, trace_cache=options.make_cache())
+        self.options = options
+        self.campaign_jobs = campaign_jobs
+        self.cache = ResultCache(capacity)
+        self._pending: "queue.Queue" = queue.Queue(maxsize=max_pending)
+        self._closed = threading.Event()
+        self._batches = 0
+        self._thread = threading.Thread(
+            target=self._serve, name="repro-service-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client surface -------------------------------------------------------
+
+    def submit(self, query: Query) -> _Ticket:
+        """Validate and enqueue one query; returns its ticket.
+
+        Blocks while the submission queue is full (backpressure).
+        Validation errors (unknown kernel/arch/mission/fault) raise here,
+        in the submitting thread, before anything is queued.
+        """
+        if self._closed.is_set():
+            raise BrokerClosed("broker is closed")
+        query = query.validated()
+        ticket = _Ticket(
+            query=query,
+            key=query_key(query, self.config),
+            kind=query_kind(query),
+            submitted_s=perf_counter(),
+        )
+        self._pending.put(ticket)
+        return ticket
+
+    def result(self, ticket: _Ticket, timeout: Optional[float] = None) -> dict:
+        """Wait for a ticket's answer; re-raises its solve error if any."""
+        if not ticket.done.wait(timeout):
+            raise TimeoutError(
+                f"no answer for {ticket.kind} query within {timeout}s"
+            )
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.payload
+
+    def ask(self, query: Query, timeout: Optional[float] = None) -> dict:
+        """Submit one query and block for its answer."""
+        return self.result(self.submit(query), timeout=timeout)
+
+    def ask_many(
+        self, queries, timeout: Optional[float] = None
+    ) -> List[dict]:
+        """Submit a burst of queries, then collect answers in order.
+
+        Submitting everything before waiting lets the dispatcher see the
+        whole burst as few batches, maximizing coalescing.
+        """
+        tickets = [self.submit(q) for q in queries]
+        return [self.result(t, timeout=timeout) for t in tickets]
+
+    def stats(self) -> dict:
+        """JSON-friendly service counters (cache, batches, queue depth)."""
+        return {
+            "cache": self.cache.as_dict(),
+            "batches": self._batches,
+            "pending": self._pending.qsize(),
+            "closed": self._closed.is_set(),
+        }
+
+    def close(self) -> None:
+        """Stop accepting queries, let the dispatcher finish, and join it."""
+        if not self._closed.is_set():
+            self._closed.set()
+            self._pending.put(_CLOSE)
+        self._thread.join()
+
+    def __enter__(self) -> "ServiceBroker":
+        """Context-manager entry: the broker itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the broker."""
+        self.close()
+
+    # -- dispatcher -----------------------------------------------------------
+
+    def _serve(self) -> None:
+        """Dispatcher loop: drain a batch, run it, repeat until closed."""
+        while True:
+            item = self._pending.get()
+            closing = item is _CLOSE
+            batch: List[_Ticket] = [] if closing else [item]
+            while True:
+                try:
+                    nxt = self._pending.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _CLOSE:
+                    closing = True
+                    continue
+                batch.append(nxt)
+            if batch:
+                try:
+                    self._run_batch(batch)
+                except BaseException as exc:  # keep serving after a bad batch
+                    for ticket in batch:
+                        if not ticket.done.is_set():
+                            ticket.error = exc
+                            ticket.done.set()
+            if closing:
+                self._fail_remaining()
+                return
+
+    def _fail_remaining(self) -> None:
+        """Fail any ticket that raced in behind the close sentinel."""
+        while True:
+            try:
+                ticket = self._pending.get_nowait()
+            except queue.Empty:
+                return
+            if ticket is _CLOSE:
+                continue
+            ticket.error = BrokerClosed("broker is closed")
+            ticket.done.set()
+
+    def _run_batch(self, batch: List[_Ticket]) -> None:
+        """Coalesce one drained batch, solve its distinct misses, deliver."""
+        metrics = get_metrics()
+        tracer = get_tracer()
+        self._batches += 1
+        dispatched_s = perf_counter()
+
+        # Coalesce: group tickets by content address, preserving batch
+        # order; answer distinct keys from the cache where possible.
+        waiters: Dict[str, List[_Ticket]] = {}
+        to_solve: List[_Ticket] = []
+        answered: Dict[str, dict] = {}
+        failed: Dict[str, BaseException] = {}
+        hits = misses = coalesced = 0
+        for ticket in batch:
+            if metrics.enabled:
+                metrics.observe(
+                    "service.queue_wall_s", dispatched_s - ticket.submitted_s
+                )
+            if ticket.key in waiters:
+                waiters[ticket.key].append(ticket)
+                coalesced += 1
+                hits += 1
+                continue
+            waiters[ticket.key] = [ticket]
+            cached = self.cache.get(ticket.key)
+            if cached is not None:
+                answered[ticket.key] = cached
+                hits += 1
+            else:
+                to_solve.append(ticket)
+                misses += 1
+
+        with tracer.span(
+            "service.batch", cat="service", queries=len(batch),
+            distinct=len(waiters), solves=len(to_solve),
+        ):
+            characterize = [t for t in to_solve if t.kind == "characterize"]
+            if characterize:
+                self._solve_characterize(characterize, answered, failed)
+            for ticket in to_solve:
+                if ticket.kind == "mission":
+                    self._solve_one(ticket, answered, failed,
+                                    self._answer_mission)
+                elif ticket.kind == "campaign":
+                    self._solve_one(ticket, answered, failed,
+                                    self._answer_campaign)
+
+        # Cache fresh answers and deliver to every waiter, in batch order.
+        for ticket in to_solve:
+            payload = answered.get(ticket.key)
+            if payload is not None:
+                self.cache.put(ticket.key, payload)
+        for key, tickets in waiters.items():
+            payload = answered.get(key)
+            error = failed.get(key)
+            if payload is None and error is None:
+                error = RuntimeError(f"query {key} produced no answer")
+            for ticket in tickets:
+                ticket.payload = payload
+                ticket.error = error
+                ticket.done.set()
+
+        if metrics.enabled:
+            metrics.inc("service.queries", len(batch))
+            metrics.inc("service.hits", hits)
+            metrics.inc("service.misses", misses)
+            metrics.inc("service.coalesced", coalesced)
+            metrics.inc("service.batches")
+            metrics.inc("service.errors", len(failed))
+            metrics.set_gauge("service.queue_depth", self._pending.qsize())
+            metrics.observe(
+                "service.batch_wall_s", perf_counter() - dispatched_s
+            )
+
+    # -- solvers --------------------------------------------------------------
+
+    def _solve_characterize(
+        self,
+        tickets: List[_Ticket],
+        answered: Dict[str, dict],
+        failed: Dict[str, BaseException],
+    ) -> None:
+        """Answer every uncached characterize cell via ONE engine plan."""
+        requests = [
+            (t.query.kernel, get_arch(t.query.arch), t.query.cache_config())
+            for t in tickets
+        ]
+        try:
+            plan = build_cell_plan(
+                requests, config=self.config, overrides=self.overrides
+            )
+            results = run_plan(plan, options=self.options)
+        except Exception as exc:
+            for ticket in tickets:
+                failed[ticket.key] = exc
+            return
+        for ticket in tickets:
+            q = ticket.query
+            try:
+                result = results.lookup(q.kernel, q.arch, q.cache)
+            except Exception as exc:
+                failed[ticket.key] = exc
+                continue
+            answered[ticket.key] = {
+                "service_version": SERVICE_FORMAT_VERSION,
+                "kind": "characterize",
+                "key": ticket.key,
+                "kernel": q.kernel,
+                "arch": q.arch,
+                "cache": q.cache,
+                "result": result_to_dict(result),
+            }
+
+    def _solve_one(
+        self,
+        ticket: _Ticket,
+        answered: Dict[str, dict],
+        failed: Dict[str, BaseException],
+        answer_fn: Callable[[_Ticket], dict],
+    ) -> None:
+        """Run one non-batchable query, filing its answer or error by key."""
+        try:
+            answered[ticket.key] = answer_fn(ticket)
+        except Exception as exc:
+            failed[ticket.key] = exc
+
+    def _answer_mission(self, ticket: _Ticket) -> dict:
+        """Fly one fault-free mission and record its task-level metrics."""
+        q = ticket.query
+        mission = make_mission(q.mission)
+        runner = make_runner(q.mission, q.arch)
+        result = runner.run(mission)
+        return {
+            "service_version": SERVICE_FORMAT_VERSION,
+            "kind": "mission",
+            "key": ticket.key,
+            "mission": q.mission,
+            "arch": q.arch,
+            "result": mission_record(result),
+        }
+
+    def _answer_campaign(self, ticket: _Ticket) -> dict:
+        """Score one fault campaign through the standard campaign runner."""
+        campaign = run_campaign(
+            ticket.query.spec, jobs=self.campaign_jobs, options=self.options
+        )
+        return {
+            "service_version": SERVICE_FORMAT_VERSION,
+            "kind": "campaign",
+            "key": ticket.key,
+            "fault": campaign.fault,
+            "result": {
+                "fault": campaign.fault,
+                "seed": campaign.seed,
+                "severities": list(campaign.severities),
+                "kernel_grid": campaign.kernel_grid,
+                "mission_grid": campaign.mission_grid,
+            },
+        }

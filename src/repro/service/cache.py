@@ -1,0 +1,82 @@
+"""In-memory LRU cache over answered query payloads.
+
+The service-side tier of the two-tier cache: the engine's trace cache
+persists *solve profiles* (the expensive kernel compute) across
+processes, while this cache holds finished *answers* (JSON-ready
+payloads) within the serving process, keyed by the same content-address
+scheme (:func:`repro.service.queries.query_key`).  A repeat query is a
+dictionary move-to-front, never a re-price.
+
+Thread-safe: client threads read stats while the dispatcher thread
+inserts, so every access takes the internal lock.  Payloads are treated
+as immutable once inserted — the broker hands the same dict to every
+waiter, which is safe precisely because nothing mutates answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+
+class ResultCache:
+    """A bounded LRU mapping query keys to answered payload dicts.
+
+    Args:
+        capacity: Maximum number of retained answers; the least recently
+            used entry is evicted on overflow.  Must be >= 1.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key`` (refreshed as most recent)."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Insert ``payload`` under ``key``, evicting the LRU overflow."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        """Number of currently cached answers."""
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching recency or hit/miss counts."""
+        with self._lock:
+            return key in self._entries
+
+    def as_dict(self) -> dict:
+        """JSON-friendly stats snapshot (hit rate included)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,225 @@
+"""Query types for the benchmark-query service, and their wire forms.
+
+A query is a small frozen dataclass naming one answerable question:
+
+* :class:`CharacterizeQuery` — one sweep datacell: price kernel K on
+  core A with cache state C.
+* :class:`MissionQuery` — fly one registered closed-loop mission on one
+  core and report its task-level metrics.
+* :class:`CampaignQuery` — score one full fault campaign
+  (:class:`~repro.faults.FaultCampaignSpec` verbatim).
+
+Every query has a **content address** (:func:`query_key`): the sha256 of
+its canonical JSON rendering plus the broker's harness configuration —
+the same hashing scheme the engine's trace cache uses for solve
+profiles.  Two queries with equal keys are the same question by
+construction, which is what lets the broker coalesce them into a single
+solve and answer both from one cache entry.
+
+:func:`parse_request` / :func:`request_of` translate between queries and
+the JSONL wire dicts the ``repro serve`` server and ``repro query``
+client exchange.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Union
+
+from repro.closedloop import MissionSpec
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.faults import FaultCampaignSpec
+from repro.mcu.arch import ARCHS
+from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+
+#: Bumped when the payload schema changes: a version bump invalidates
+#: every cached answer, exactly like the trace cache's format version.
+SERVICE_FORMAT_VERSION = 1
+
+#: Cache label -> the :class:`~repro.mcu.cache.CacheConfig` it names.
+CACHE_OF_LABEL = {CACHE_ON.label: CACHE_ON, CACHE_OFF.label: CACHE_OFF}
+
+
+def _check_arch(arch: str) -> None:
+    """Raise ``KeyError`` naming the registered cores on a bad arch."""
+    if arch not in ARCHS:
+        raise KeyError(
+            f"unknown arch {arch!r}; available: {sorted(ARCHS)}"
+        )
+
+
+@dataclass(frozen=True)
+class CharacterizeQuery:
+    """One sweep datacell: price ``kernel`` on ``arch`` under ``cache``."""
+
+    kernel: str
+    arch: str = "m33"
+    cache: str = "C"
+
+    def validated(self) -> "CharacterizeQuery":
+        """Return self after checking every coordinate is registered."""
+        if not registry.is_registered(self.kernel):
+            raise KeyError(
+                f"unknown kernel {self.kernel!r}; "
+                f"available: {registry.names()}"
+            )
+        _check_arch(self.arch)
+        if self.cache not in CACHE_OF_LABEL:
+            raise KeyError(
+                f"unknown cache label {self.cache!r}; "
+                f"available: {sorted(CACHE_OF_LABEL)}"
+            )
+        return self
+
+    def cache_config(self) -> CacheConfig:
+        """The :class:`CacheConfig` this query's label names."""
+        return CACHE_OF_LABEL[self.cache]
+
+
+@dataclass(frozen=True)
+class MissionQuery:
+    """Fly one registered closed-loop mission on one core, fault-free."""
+
+    mission: str = "hover"
+    arch: str = "m33"
+
+    def validated(self) -> "MissionQuery":
+        """Return self after checking mission and core are registered."""
+        MissionSpec(mission=self.mission, arch=self.arch).validated()
+        _check_arch(self.arch)
+        return self
+
+
+@dataclass(frozen=True)
+class CampaignQuery:
+    """Score one fault campaign; the spec is the query, verbatim."""
+
+    spec: FaultCampaignSpec
+
+    def validated(self) -> "CampaignQuery":
+        """Return self after checking the campaign's coordinates."""
+        from repro.faults import get_fault
+
+        get_fault(self.spec.fault)  # raises KeyError on unknown faults
+        for arch in self.spec.archs:
+            _check_arch(arch)
+        for mission in self.spec.missions:
+            MissionSpec(mission=mission).validated()
+        return self
+
+
+#: Any query the broker accepts.
+Query = Union[CharacterizeQuery, MissionQuery, CampaignQuery]
+
+#: Wire ``op`` name of each query type (also the payload ``kind``).
+_KIND_OF_TYPE = {
+    CharacterizeQuery: "characterize",
+    MissionQuery: "mission",
+    CampaignQuery: "campaign",
+}
+
+
+def query_kind(query: Query) -> str:
+    """The query's wire kind: ``characterize`` / ``mission`` / ``campaign``."""
+    try:
+        return _KIND_OF_TYPE[type(query)]
+    except KeyError:
+        raise TypeError(f"not a service query: {query!r}") from None
+
+
+def query_key(query: Query, config: HarnessConfig = None) -> str:
+    """Content address of one query under one harness configuration.
+
+    Same scheme as :func:`repro.engine.solve_key`: canonical (sorted,
+    separator-free) JSON, sha256, 32 hex characters.  The harness config
+    participates because it changes characterize answers (reps, warmup,
+    gap); including it uniformly keeps one code path for every kind.
+    """
+    config = config if config is not None else HarnessConfig()
+    payload = json.dumps(
+        {
+            "service_version": SERVICE_FORMAT_VERSION,
+            "kind": query_kind(query),
+            "query": asdict(query),
+            "config": asdict(config),
+        },
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def mission_record(result) -> dict:
+    """JSON-ready record of one :class:`~repro.closedloop.MissionResult`.
+
+    Field-for-field the shape the fault campaign's mission grid records
+    use, minus the fault-only columns — so mission answers collate with
+    campaign rows without renaming.
+    """
+    return {
+        "completed": bool(result.completed),
+        "duration_s": float(result.duration_s),
+        "path_error_rms": float(result.path_error_rms_m),
+        "path_error_max": float(result.path_error_max_m),
+        "compute_energy_j": float(result.compute_energy_j),
+        "compute_latency_s": float(result.compute_latency_s),
+        "deadline_hit_rate": float(result.deadline_hit_rate),
+        "effective_rate_hz": float(result.effective_rate_hz),
+        "overruns": int(result.overruns),
+        "worst_latency_s": float(result.worst_latency_s),
+        "aborted_by": result.aborted_by,
+    }
+
+
+def parse_request(request: dict) -> Query:
+    """Build the query a JSONL wire request describes (validated).
+
+    The request's ``op`` selects the query type; remaining fields map to
+    dataclass fields with the dataclass defaults applying when omitted.
+    Raises ``KeyError``/``ValueError`` with an actionable message on
+    unknown ops, kernels, archs, missions, faults, or cache labels.
+    """
+    op = request.get("op")
+    if op == "characterize":
+        return CharacterizeQuery(
+            kernel=request["kernel"],
+            arch=request.get("arch", "m33"),
+            cache=request.get("cache", "C"),
+        ).validated()
+    if op == "mission":
+        return MissionQuery(
+            mission=request.get("mission", "hover"),
+            arch=request.get("arch", "m33"),
+        ).validated()
+    if op == "campaign":
+        spec = FaultCampaignSpec(
+            fault=request["fault"],
+            severities=tuple(request.get("severities", (0.25, 0.5, 0.75, 1.0))),
+            missions=tuple(request.get("missions", ())),
+            kernels=tuple(request.get("kernels", ())),
+            archs=tuple(request.get("archs", ("m33",))),
+            seed=int(request.get("seed", 0)),
+            reps=int(request.get("reps", 1)),
+            warmup=int(request.get("warmup", 0)),
+        )
+        return CampaignQuery(spec=spec).validated()
+    raise ValueError(
+        f"unknown op {op!r}; expected one of "
+        "('characterize', 'mission', 'campaign', 'ping', 'stats')"
+    )
+
+
+def request_of(query: Query) -> dict:
+    """The JSONL wire request describing ``query`` (parse_request inverse)."""
+    kind = query_kind(query)
+    if isinstance(query, CampaignQuery):
+        fields = asdict(query.spec)
+        fields["severities"] = list(fields["severities"])
+        fields["missions"] = list(fields["missions"])
+        fields["kernels"] = list(fields["kernels"])
+        fields["archs"] = list(fields["archs"])
+    else:
+        fields = asdict(query)
+    return {"op": kind, **fields}

@@ -1,0 +1,158 @@
+"""JSONL-over-TCP front-end for the query broker, plus its client.
+
+Wire protocol — one JSON object per line, both directions:
+
+* request: ``{"op": "characterize", "kernel": "mahony", "arch": "m33"}``
+  (any :func:`repro.service.queries.parse_request` op, plus ``ping`` and
+  ``stats``).
+* response: ``{"ok": true, ...answer payload...}`` or
+  ``{"ok": false, "error": "<message>"}``.
+
+The server is a ``ThreadingTCPServer`` bound to localhost by default:
+each connection gets a handler thread that parses lines and blocks on
+:meth:`~repro.service.broker.ServiceBroker.ask` — so concurrency,
+coalescing, and backpressure all live in the broker, and many
+simultaneous connections asking the same question still cost one solve.
+
+``repro serve`` runs :class:`ServiceServer`; ``repro query`` uses
+:class:`ServiceClient` (or any tool that can speak line-delimited JSON
+over a socket, e.g. ``nc``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.service.broker import ServiceBroker
+from repro.service.queries import parse_request
+
+#: Default TCP port for ``repro serve`` / ``repro query``.
+DEFAULT_PORT = 7453
+
+
+class _QueryHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            response = self.server.answer_line(line)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """Serve one broker over line-delimited JSON on a local TCP socket.
+
+    Args:
+        broker: The answering :class:`ServiceBroker`.
+        host: Bind address; keep the localhost default unless you mean
+            to expose the service.
+        port: Bind port; 0 picks a free ephemeral port (read it back
+            from :attr:`address`).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, broker: ServiceBroker, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.broker = broker
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _QueryHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound (host, port) pair."""
+        return self.server_address[0], self.server_address[1]
+
+    def answer_line(self, line: str) -> dict:
+        """Answer one request line; errors become ``ok: false`` responses."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "stats":
+                return {"ok": True, "stats": self.broker.stats()}
+            payload = self.broker.ask(parse_request(request))
+            return {"ok": True, **payload}
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def start(self) -> Tuple[str, int]:
+        """Serve in a background thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service-server", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving and join the server thread (broker left running)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        """Context-manager entry: start serving in the background."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: stop the server."""
+        self.stop()
+
+
+class ServiceClient:
+    """A persistent JSONL connection to a :class:`ServiceServer`.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        timeout: Socket timeout in seconds for connect and replies.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+
+    def query(self, request: dict) -> dict:
+        """Send one request dict, return the decoded response dict."""
+        self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> bool:
+        """True when the server answers a ping."""
+        return bool(self.query({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        """The server-side broker's counters."""
+        return self.query({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._rfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

@@ -1,0 +1,171 @@
+"""Tests for the ``repro.api`` facade.
+
+The first test is the public-API snapshot: ``repro.api.__all__`` is
+compared against a pinned list, so any addition, removal, or rename of
+the supported surface fails here until this file is updated — an
+explicit, reviewed act.  The rest covers the deprecation shims, the
+verb wrappers, and the typed ``ResultKeyError`` lookup contract.
+"""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.core.config import HarnessConfig
+
+#: The pinned public surface.  Changing ``repro.api.__all__`` without
+#: updating this list is unreviewed API drift and must fail.
+PUBLIC_API = [
+    "CampaignQuery",
+    "CampaignResult",
+    "CampaignSpec",
+    "CharacterizeQuery",
+    "DEFAULT_PORT",
+    "EngineOptions",
+    "FlappingWingRunner",
+    "HarnessConfig",
+    "HoverMission",
+    "MISSION_NAMES",
+    "MissionQuery",
+    "MissionResult",
+    "MissionSpec",
+    "ResultKeyError",
+    "ServiceBroker",
+    "ServiceClient",
+    "ServiceServer",
+    "SteeringCourse",
+    "StriderRunner",
+    "SweepResults",
+    "SweepSpec",
+    "Telemetry",
+    "TraceCache",
+    "WaypointMission",
+    "build_report",
+    "characterize",
+    "fault_names",
+    "get_fault",
+    "query",
+    "render_report",
+    "run_campaign",
+    "run_mission",
+    "save_report",
+    "sweep",
+]
+
+CONFIG = HarnessConfig(reps=1, warmup_reps=0)
+OVERRIDES = {"*": {"n_samples": 40}}
+
+
+# ----------------------------------------------------------- the snapshot
+
+
+def test_public_api_snapshot():
+    assert sorted(api.__all__) == PUBLIC_API
+    assert len(set(api.__all__)) == len(api.__all__)
+
+
+def test_every_public_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_dir_lists_public_and_deprecated_names():
+    listed = dir(api)
+    for name in PUBLIC_API:
+        assert name in listed
+    assert "FaultCampaignSpec" in listed
+    assert "characterize_suite" in listed
+
+
+# ------------------------------------------------------ deprecation shims
+
+
+def test_deprecated_aliases_warn_once_and_forward():
+    api._warned.clear()
+    with pytest.warns(DeprecationWarning, match="use repro.api.CampaignSpec"):
+        legacy = api.FaultCampaignSpec
+    assert legacy is api.CampaignSpec
+    # Second access is silent: the warning fires once per process.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert api.FaultCampaignSpec is api.CampaignSpec
+
+    api._warned.discard("characterize_suite")
+    with pytest.warns(DeprecationWarning, match="use repro.api.characterize"):
+        assert api.characterize_suite is api.characterize
+
+
+def test_deprecated_aliases_stay_out_of_all():
+    assert "FaultCampaignSpec" not in api.__all__
+    assert "characterize_suite" not in api.__all__
+
+
+def test_unknown_attribute_raises_attribute_error():
+    with pytest.raises(AttributeError, match="no attribute"):
+        api.definitely_not_a_name
+
+
+# ------------------------------------------------------------- the verbs
+
+
+def test_run_mission_accepts_spec_or_bare_name():
+    by_spec = api.run_mission(api.MissionSpec(mission="hover", arch="m33"))
+    by_name = api.run_mission("hover", arch="m33")
+    assert by_spec == by_name
+
+
+def test_run_mission_rejects_arch_alongside_a_spec():
+    with pytest.raises(TypeError, match="inside the MissionSpec"):
+        api.run_mission(api.MissionSpec(mission="hover"), arch="m4")
+
+
+def test_sweep_verb_runs_a_spec():
+    from repro.mcu.arch import get_arch
+    from repro.mcu.cache import CACHE_ON
+
+    results = api.sweep(api.SweepSpec(
+        kernels=["mahony"],
+        archs=[get_arch("m33")],
+        caches=(CACHE_ON,),
+        config=CONFIG,
+        overrides=OVERRIDES,
+    ))
+    assert results.lookup("mahony", "m33", "C").kernel == "mahony"
+
+
+def test_query_verb_answers_a_wire_dict():
+    payload = api.query({
+        "op": "mission", "mission": "hover", "arch": "m33",
+    })
+    assert payload["kind"] == "mission"
+    assert payload["result"]["completed"] in (True, False)
+
+
+# ----------------------------------------------------- typed lookup errors
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    from repro.mcu.arch import get_arch
+    from repro.mcu.cache import CACHE_ON
+
+    return api.sweep(api.SweepSpec(
+        kernels=["mahony"],
+        archs=[get_arch("m33")],
+        caches=(CACHE_ON,),
+        config=CONFIG,
+        overrides=OVERRIDES,
+    ))
+
+
+def test_lookup_miss_raises_typed_keyerror_with_suggestion(small_results):
+    with pytest.raises(api.ResultKeyError) as excinfo:
+        small_results.lookup("mahony", "m7", "C")
+    err = excinfo.value
+    assert isinstance(err, KeyError)
+    assert err.requested == ("mahony", "m7", "C")
+    assert err.suggestion == ("mahony", "m33", "C")
+    assert "nearest indexed cell" in str(err)
+    # get() keeps the probing contract: None, never a raise.
+    assert small_results.get("mahony", "m7", "C") is None

@@ -35,7 +35,7 @@ SRC = REPO / "src" / "repro"
 EXPECTED_RULES = {
     "layering", "no-wall-clock", "no-unseeded-rng", "iteration-order",
     "pool-safety", "mutable-default-args", "docstring-coverage",
-    "pragma-hygiene",
+    "pragma-hygiene", "facade-only-imports",
 }
 
 
@@ -516,6 +516,78 @@ def test_group_of_maps_known_modules():
 def test_every_scanned_module_is_in_the_layer_map():
     for module in scan_root(default_root()):
         assert group_of(module.name) is not None, module.name
+
+
+# ------------------------------------------------------- facade-only-imports
+
+
+def test_facade_rule_flags_deep_imports_from_analysis(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "analysis/study.py": """
+            from repro.engine import EngineOptions
+
+            def table():
+                from repro.core.experiment import SweepSpec
+                return SweepSpec, EngineOptions
+        """,
+    }, rules=["facade-only-imports"])
+    assert rules_hit(findings) == {"facade-only-imports"}
+    assert len(findings) == 2
+    assert all("repro.api" in f.message for f in findings)
+
+
+def test_facade_rule_passes_facade_and_building_block_imports(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "analysis/study.py": """
+            from repro.api import SweepSpec, sweep
+            from repro.core.experiment_io import result_to_dict
+            from repro.core.config import HarnessConfig
+            from repro.mcu.arch import ARCHS
+        """,
+    }, rules=["facade-only-imports"])
+    assert findings == []
+
+
+def test_facade_rule_ignores_non_consumer_groups(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "cli.py": """
+            from repro.engine import EngineOptions
+        """,
+        "service/broker.py": """
+            from repro.faults import run_campaign
+        """,
+        "api.py": """
+            from repro.service import ServiceBroker
+        """,
+    }, rules=["facade-only-imports"])
+    assert findings == []
+
+
+def test_facade_rule_scans_examples_and_benchmarks_trees(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    external = {
+        "examples/demo.py": "from repro.closedloop import FlappingWingRunner\n",
+        "examples/ok.py": "from repro.api import run_mission\n",
+        "benchmarks/bench_x.py": "from repro.core import experiment\n",
+    }
+    for rel, source in external.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    findings = lint_tree(tmp_path, {
+        "analysis/__init__.py": "",
+    }, rules=["facade-only-imports"])
+    assert [f.path for f in findings] == [
+        "benchmarks/bench_x.py", "examples/demo.py",
+    ]
+    assert all(f.rule == "facade-only-imports" for f in findings)
+
+
+def test_facade_rule_skips_external_scan_without_repo_anchor(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "analysis/__init__.py": "",
+    }, rules=["facade-only-imports"])
+    assert findings == []
 
 
 # --------------------------------------------------- docs <-> rules coupling
