@@ -19,6 +19,13 @@ one module:
   :func:`fault_names`) and the closed-loop building blocks
   (:class:`FlappingWingRunner`, :class:`StriderRunner` and their
   missions) for custom studies the verb signatures don't cover.
+* **Scenarios** — tiered scenario generation for campaign-scale studies:
+  :func:`generate_scenarios` samples a content-addressed
+  :class:`ScenarioSet` (tier A = the paper's platforms, tier B = seeded
+  synthetics) and :func:`run_scenarios` executes one into a Pareto /
+  failure-rate report.  The mission registry (:func:`mission_names`,
+  :func:`register_mission`) is the extension seam generated missions
+  flow through.
 
 ``__all__`` below is the *pinned* public surface: ``tests/test_api.py``
 snapshots it, so adding or removing a name is an explicit, reviewed act.
@@ -37,6 +44,7 @@ from repro.closedloop import (
     MISSION_NAMES,
     FlappingWingRunner,
     HoverMission,
+    MissionKeyError,
     MissionResult,
     MissionSpec,
     SteeringCourse,
@@ -44,6 +52,8 @@ from repro.closedloop import (
     WaypointMission,
     make_mission,
     make_runner,
+    mission_names,
+    register_mission,
 )
 from repro.core.config import HarnessConfig
 from repro.core.experiment import (
@@ -61,6 +71,13 @@ from repro.faults import (
     save_report,
 )
 from repro.faults import FaultCampaignSpec as CampaignSpec
+from repro.scenarios import (
+    ScenarioGenerator,
+    ScenarioSet,
+    ScenarioSpec,
+    generate_scenarios,
+    run_scenarios,
+)
 from repro.service import (
     DEFAULT_PORT,
     CampaignQuery,
@@ -82,16 +99,25 @@ __all__ = [
     "TraceCache",
     # results / errors
     "CampaignResult",
+    "MissionKeyError",
     "MissionResult",
     "ResultKeyError",
     "SweepResults",
     "Telemetry",
     # verbs
     "characterize",
+    "generate_scenarios",
     "query",
     "run_campaign",
     "run_mission",
+    "run_scenarios",
     "sweep",
+    # scenario toolkit
+    "ScenarioGenerator",
+    "ScenarioSet",
+    "ScenarioSpec",
+    "mission_names",
+    "register_mission",
     # fault toolkit
     "build_report",
     "fault_names",

@@ -13,6 +13,11 @@ Mirrors the artifact's make-target workflow with subcommands::
         --severities 0.25,0.5,1.0 --out resilience.json
     python -m repro trace mission hover        # profile: phase report
     python -m repro sweep --trace sweep.trace.json   # Perfetto-loadable
+    python -m repro scenarios list             # tiered scenario catalog
+    python -m repro scenarios generate --tier b --count 100 --seed 42 \
+        --out scenarios.json                   # content-addressed set
+    python -m repro scenarios run --tier b --count 1000 --seed 42 \
+        --jobs 4 --out campaign.json           # campaign-scale study
     python -m repro lint                       # layering + determinism rules
     python -m repro lint --format json         # machine report (CI gate)
     python -m repro serve --port 7453          # benchmark-query service
@@ -347,6 +352,52 @@ def _cmd_query(args) -> int:
     return 0 if response.get("ok") else 1
 
 
+def _cmd_scenarios(args) -> int:
+    from repro.api import ScenarioSet, generate_scenarios, run_scenarios
+    from repro.engine import Telemetry
+    from repro.scenarios import render_report, save_report, tier_a_set
+
+    cmd = args.scenarios_command
+    if cmd == "list":
+        print("tier a (the paper's platforms):")
+        for scenario in tier_a_set().scenarios:
+            mission = (scenario.mission["kind"] if scenario.mission
+                       else "kernel-only")
+            print(f"  {scenario.name:20s} arch={scenario.arch:7s} "
+                  f"mission={mission:12s} "
+                  f"kernels={','.join(scenario.kernels)}")
+        print("tier b: seeded synthetic generation "
+              "(scenarios generate --tier b --count N --seed S)")
+        return 0
+    if cmd == "generate":
+        sset = generate_scenarios(tier=args.tier, count=args.count,
+                                  seed=args.seed)
+        print(f"generated : {len(sset)} tier-{sset.tier} scenario(s), "
+              f"seed {sset.seed}")
+        print(f"address   : {sset.address}")
+        if args.out:
+            path = sset.save(args.out)
+            print(f"saved     : {path}")
+        return 0
+    # cmd == "run"
+    if args.set:
+        sset = ScenarioSet.load(args.set)
+        print(f"loaded    : {len(sset)} tier-{sset.tier} scenario(s) "
+              f"from {args.set}")
+    else:
+        sset = generate_scenarios(tier=args.tier, count=args.count,
+                                  seed=args.seed)
+    telemetry = Telemetry()
+    report = run_scenarios(sset, jobs=args.jobs,
+                           options=_engine_options(args),
+                           telemetry=telemetry)
+    print(render_report(report))
+    if args.out:
+        path = save_report(report, args.out)
+        print(f"\nsaved: {path}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import (
         Baseline,
@@ -411,7 +462,11 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
 
 def _add_mission_args(p: argparse.ArgumentParser) -> None:
     """The mission flag set (shared with ``repro trace mission``)."""
-    p.add_argument("mission", choices=("hover", "waypoints", "steer"))
+    from repro.closedloop import mission_names
+
+    # Choices come from the mission registry — the one source of truth —
+    # so missions registered by studies appear here automatically.
+    p.add_argument("mission", choices=mission_names())
     p.add_argument("--arch", default="m33", choices=sorted(ARCHS))
     _add_obs_args(p)
 
@@ -503,6 +558,47 @@ def _add_query_args(p: argparse.ArgumentParser) -> None:
                    help="answer in-process (no server needed)")
 
 
+def _add_scenarios_args(p: argparse.ArgumentParser) -> None:
+    """The tiered scenario flag sets (``repro scenarios``)."""
+    from repro.scenarios import TIERS
+
+    sub = p.add_subparsers(dest="scenarios_command", required=True)
+    sub.add_parser("list", help="list the tier-A platform scenarios")
+
+    def _generation_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--tier", default="b", choices=TIERS,
+                        help="a = the paper's platforms, b = seeded "
+                             "synthetic generation (default: b)")
+        sp.add_argument("--count", type=int, default=25,
+                        help="tier-b scenarios to generate (default: 25)")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="generation seed (same seed = byte-identical "
+                             "scenario set)")
+
+    generate = sub.add_parser(
+        "generate", help="generate a content-addressed scenario set"
+    )
+    _generation_flags(generate)
+    generate.add_argument("--out", default=None,
+                          help="write the scenario set JSON here")
+
+    run = sub.add_parser(
+        "run", help="execute a scenario campaign (sweeps + mission grids)"
+    )
+    _generation_flags(run)
+    run.add_argument("--set", default=None, metavar="PATH",
+                     help="run a saved scenario set instead of generating")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="parallel workers for solves and mission jobs")
+    run.add_argument("--cache-dir", default=None,
+                     help="persistent trace-cache directory")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the trace cache")
+    run.add_argument("--out", default=None,
+                     help="write the campaign report JSON here")
+    _add_obs_args(run)
+
+
 def _add_lint_args(p: argparse.ArgumentParser) -> None:
     """The static-analysis flag set (``repro lint``)."""
     p.add_argument("--format", choices=("text", "json"), default="text",
@@ -567,6 +663,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults_args(faults)
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="tiered scenario generation and campaign-scale studies",
+    )
+    _add_scenarios_args(scenarios)
+
     lint = sub.add_parser(
         "lint", help="static analysis: layering + determinism rules"
     )
@@ -607,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tables": _cmd_tables,
         "mission": _cmd_mission,
         "faults": _cmd_faults,
+        "scenarios": _cmd_scenarios,
         "lint": _cmd_lint,
         "serve": _cmd_serve,
         "query": _cmd_query,

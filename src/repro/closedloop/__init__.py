@@ -9,12 +9,18 @@ completion rate, energy per mission).
 from repro.closedloop.missions import (
     MISSION_NAMES,
     HoverMission,
+    MissionEntry,
+    MissionKeyError,
     MissionResult,
     MissionSpec,
     SteeringCourse,
     WaypointMission,
     control_period_s,
     make_mission,
+    mission_entry,
+    mission_names,
+    register_mission,
+    unregister_mission,
 )
 from repro.closedloop.runner import (
     FlappingWingRunner,
@@ -27,6 +33,8 @@ from repro.closedloop.simulator import FlappingWingBody, WaterStrider
 __all__ = [
     "MISSION_NAMES",
     "HoverMission",
+    "MissionEntry",
+    "MissionKeyError",
     "MissionResult",
     "MissionSpec",
     "SteeringCourse",
@@ -34,6 +42,10 @@ __all__ = [
     "control_period_s",
     "make_mission",
     "make_runner",
+    "mission_entry",
+    "mission_names",
+    "register_mission",
+    "unregister_mission",
     "FlappingWingRunner",
     "MissionFaultHook",
     "StriderRunner",

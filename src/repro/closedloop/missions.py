@@ -7,15 +7,122 @@ rejection, path error, completion rate, and energy per mission.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-#: The registered mission names, in canonical order.  This tuple is the
-#: single source of truth for every layer that enumerates missions (the
-#: CLI choices, fault campaigns, the query service).
-MISSION_NAMES = ("hover", "waypoints", "steer")
+
+class MissionKeyError(KeyError):
+    """An unregistered mission name, with a nearest-match suggestion.
+
+    The closed-loop counterpart of
+    :class:`~repro.core.experiment.ResultKeyError`: raised instead of a
+    bare ``KeyError`` so callers (the CLI, fault campaigns, the query
+    service) can catch the lookup failure specifically, and so the
+    message names the closest registered mission rather than echoing an
+    opaque string.
+    """
+
+    def __init__(self, requested: str, suggestion: Optional[str] = None):
+        self.requested = requested
+        self.suggestion = suggestion
+        message = (
+            f"unknown mission {requested!r}; available: {mission_names()}"
+        )
+        if suggestion is not None:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the prose.
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class MissionEntry:
+    """One registered mission: how to build it and how to fly it."""
+
+    #: Registry name, e.g. ``"hover"``.
+    name: str
+    #: Zero-argument factory returning a fresh mission object.
+    factory: Callable[[], object]
+    #: Control-loop rate the mission's runner steps at (Hz).
+    control_rate_hz: float = 2000.0
+    #: Which runner flies it: ``"flapping"`` or ``"strider"``.
+    runner: str = "flapping"
+
+
+#: The mission registry, in registration order.  Built-ins register at
+#: import below; Tier-B generated missions (``repro.scenarios``) and
+#: custom studies register through :func:`register_mission`.
+_MISSIONS: Dict[str, MissionEntry] = {}
+
+#: Runner kinds :func:`register_mission` accepts.
+_RUNNER_KINDS = ("flapping", "strider")
+
+
+def register_mission(
+    name: str,
+    factory: Callable[[], object],
+    *,
+    control_rate_hz: float = 2000.0,
+    runner: str = "flapping",
+    replace: bool = False,
+) -> MissionEntry:
+    """Register a mission so every layer can enumerate and fly it.
+
+    The single source of truth the CLI choices, fault campaigns, and the
+    query service all read: registering here is the only step a new
+    mission type needs to become sweepable everywhere.
+
+    Args:
+        name: Registry key (also the ``MissionSpec.mission`` value).
+        factory: Zero-argument callable building a fresh mission object.
+        control_rate_hz: The runner's control-loop rate for this mission.
+        runner: ``"flapping"`` or ``"strider"``.
+        replace: Allow overwriting an existing registration.
+
+    Returns:
+        The stored :class:`MissionEntry`.
+    """
+    if not name:
+        raise ValueError("mission name must be non-empty")
+    if runner not in _RUNNER_KINDS:
+        raise ValueError(
+            f"unknown runner kind {runner!r}; available: {_RUNNER_KINDS}"
+        )
+    if control_rate_hz <= 0:
+        raise ValueError(f"control_rate_hz must be positive, got {control_rate_hz!r}")
+    if name in _MISSIONS and not replace:
+        raise ValueError(
+            f"mission {name!r} is already registered (pass replace=True)"
+        )
+    entry = MissionEntry(
+        name=name, factory=factory,
+        control_rate_hz=float(control_rate_hz), runner=runner,
+    )
+    _MISSIONS[name] = entry
+    return entry
+
+
+def unregister_mission(name: str) -> None:
+    """Remove a registered mission (built-ins included; use with care)."""
+    _MISSIONS.pop(name, None)
+
+
+def mission_names() -> Tuple[str, ...]:
+    """Every registered mission name, in registration order."""
+    return tuple(_MISSIONS)
+
+
+def mission_entry(name: str) -> MissionEntry:
+    """The registry entry for ``name``; raises :class:`MissionKeyError`."""
+    entry = _MISSIONS.get(name)
+    if entry is None:
+        near = difflib.get_close_matches(name, mission_names(), n=1, cutoff=0.0)
+        raise MissionKeyError(name, near[0] if near else None)
+    return entry
 
 
 @dataclass(frozen=True)
@@ -32,28 +139,24 @@ class MissionSpec:
     arch: str = "m33"
 
     def validated(self) -> "MissionSpec":
-        """Return self after checking the mission name is registered."""
-        if self.mission not in MISSION_NAMES:
-            raise KeyError(
-                f"unknown mission {self.mission!r}; available: {MISSION_NAMES}"
-            )
+        """Return self after checking the mission name is registered.
+
+        Raises:
+            MissionKeyError: Unregistered name, carrying the requested
+                name and the nearest registered match.
+        """
+        mission_entry(self.mission)
         return self
 
 
 def make_mission(name: str):
-    """Instantiate a registered mission by name (see :data:`MISSION_NAMES`)."""
-    if name == "hover":
-        return HoverMission()
-    if name == "waypoints":
-        return WaypointMission()
-    if name == "steer":
-        return SteeringCourse()
-    raise KeyError(f"unknown mission {name!r}; available: {MISSION_NAMES}")
+    """Instantiate a registered mission by name (see :func:`mission_names`)."""
+    return mission_entry(name).factory()
 
 
 def control_period_s(mission_name: str) -> float:
     """The control-loop period each mission's runner steps at (seconds)."""
-    return 1.0 / (200.0 if mission_name == "steer" else 2000.0)
+    return 1.0 / mission_entry(mission_name).control_rate_hz
 
 
 @dataclass(frozen=True)
@@ -156,6 +259,21 @@ class SteeringCourse:
         if t < 0.5:
             return 0.0
         return self.turn_rate_rad_s * (t - 0.5)
+
+
+# The paper's built-in missions.  Registration order is canonical:
+# every enumeration (CLI choices, campaign grids, docs) lists them so.
+register_mission("hover", HoverMission, control_rate_hz=2000.0,
+                 runner="flapping")
+register_mission("waypoints", WaypointMission, control_rate_hz=2000.0,
+                 runner="flapping")
+register_mission("steer", SteeringCourse, control_rate_hz=200.0,
+                 runner="strider")
+
+#: The built-in mission names, frozen at import in registration order.
+#: Dynamic enumeration — which also sees missions registered later via
+#: :func:`register_mission` — is :func:`mission_names`.
+MISSION_NAMES = mission_names()
 
 
 def score_trajectory(

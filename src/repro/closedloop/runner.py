@@ -486,6 +486,13 @@ class StriderRunner:
         )
 
 
+#: Runner-kind name -> runner class (see ``MissionEntry.runner``).
+RUNNER_CLASSES = {
+    "flapping": FlappingWingRunner,
+    "strider": StriderRunner,
+}
+
+
 def make_runner(
     mission_name: str,
     arch_name: str = "m33",
@@ -494,19 +501,20 @@ def make_runner(
 ):
     """Build the runner that flies ``mission_name`` on core ``arch_name``.
 
-    The single place the mission-name -> runner-class mapping lives:
-    the fault campaign planner, the query service, and
-    ``repro.api.run_mission`` all construct runners through here, so a
-    new mission type needs exactly one registration site.
+    Reads the mission registry (:func:`~repro.closedloop.missions.mission_entry`)
+    for the runner class and control rate, so the fault campaign planner,
+    the query service, ``repro.api.run_mission``, and the scenario layer
+    all fly a registered mission — built-in or generated — through one
+    construction site.
     """
+    from repro.closedloop.missions import mission_entry
     from repro.mcu.arch import get_arch
 
     arch = get_arch(arch_name)
-    if mission_name == "steer":
-        return StriderRunner(arch=arch, fault_hook=fault_hook,
-                             telemetry=telemetry)
-    return FlappingWingRunner(arch=arch, fault_hook=fault_hook,
-                              telemetry=telemetry)
+    entry = mission_entry(mission_name)
+    runner_cls = RUNNER_CLASSES[entry.runner]
+    return runner_cls(arch=arch, control_rate_hz=entry.control_rate_hz,
+                      fault_hook=fault_hook, telemetry=telemetry)
 
 
 def _quat_to_matrix(q) -> np.ndarray:

@@ -29,10 +29,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.closedloop import (
-    MISSION_NAMES,
     control_period_s,
     make_mission,
     make_runner,
+    mission_entry,
 )
 from repro.faults.base import FaultModel, check_severity, get_fault
 from repro.obs import get_metrics, get_tracer
@@ -93,10 +93,7 @@ def plan_mission_cells(spec: FaultCampaignSpec) -> List[MissionCell]:
     """The mission grid in canonical order (mission, arch, severity)."""
     cells: List[MissionCell] = []
     for mission in spec.missions:
-        if mission not in MISSION_NAMES:
-            raise KeyError(
-                f"unknown mission {mission!r}; available: {MISSION_NAMES}"
-            )
+        mission_entry(mission)  # raises MissionKeyError with a suggestion
         for arch in spec.archs:
             for severity in spec.severity_grid():
                 index = len(cells)

@@ -355,7 +355,8 @@ class MutableDefaultRule(Rule):
 
 #: Packages whose public API must be fully documented (was the scope of
 #: the old standalone ``tests/test_docstrings.py``; lint now dogfoods).
-DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs", "service")
+DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs",
+                                 "scenarios", "service")
 
 
 class DocstringRule(Rule):
@@ -368,7 +369,8 @@ class DocstringRule(Rule):
     """
 
     id = "docstring-coverage"
-    summary = "public API of engine/faults/lint/obs/service must be documented"
+    summary = ("public API of engine/faults/lint/obs/scenarios/service "
+               "must be documented")
     rationale = (
         "the orchestration and tooling layers are the repo's public "
         "surface; undocumented API regresses silently without a gate"

@@ -51,6 +51,7 @@ DEEP_PREFIXES: Tuple[str, ...] = (
     "repro.core.experiment",
     "repro.engine",
     "repro.faults",
+    "repro.scenarios",
     "repro.service",
 )
 

@@ -50,6 +50,7 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
     "analysis": ("analysis",),
     "lint": ("lint",),
     "engine": ("engine",),
+    "scenarios": ("scenarios",),
     "closedloop": ("closedloop",),
     "faults": ("faults",),
     "obs": ("obs",),
@@ -65,10 +66,10 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
 ALLOWED: Dict[str, FrozenSet[str]] = {
     "cli": frozenset({
         "analysis", "api", "closedloop", "core", "data", "engine",
-        "faults", "lint", "mcu", "obs", "service",
+        "faults", "lint", "mcu", "obs", "scenarios", "service",
     }),
     "api": frozenset({
-        "closedloop", "core", "engine", "faults", "service",
+        "closedloop", "core", "engine", "faults", "scenarios", "service",
     }),
     "service": frozenset({
         "closedloop", "core", "engine", "faults", "mcu", "obs",
@@ -77,6 +78,9 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
         "api", "core", "data", "kernels", "mcu",
     }),
     "lint": frozenset(),
+    "scenarios": frozenset({
+        "closedloop", "core", "data", "engine", "faults", "mcu", "obs",
+    }),
     "faults": frozenset({
         "closedloop", "core", "data", "engine", "instrumentation",
         "mcu", "obs",

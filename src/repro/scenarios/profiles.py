@@ -1,0 +1,170 @@
+"""Mission profiles: JSON-safe descriptions of flyable missions.
+
+A *profile* is the wire form of a mission — a plain dict a scenario
+carries, a worker process can rebuild from scratch, and a content
+address can hash.  Four kinds:
+
+* ``hover`` — hold a setpoint, optionally under a wind-gust schedule
+  that drags the reference through raised-cosine excursions (the
+  paper's disturbance-rejection axis, swept instead of fixed).
+* ``tour`` — a waypoint tour (generated box tours stand in for the
+  paper's waypoint mission at arbitrary dynamic range).
+* ``steer`` — the water-strider heading course with a configurable
+  turn rate.
+* ``swarm`` — a multi-agent formation: N agent profiles flown
+  independently and scored jointly (completed = every agent completed).
+
+``mission_from_profile`` is the **worker-side reconstruction seam**: the
+campaign layer ships profiles (not objects) to process-pool workers, so
+a freshly imported worker builds byte-identical missions from the dict
+alone — that is what keeps ``--jobs 1`` and ``--jobs N`` reports equal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.closedloop import HoverMission, SteeringCourse, WaypointMission
+
+#: Profile kinds a scenario may carry (``swarm`` only at the top level).
+PROFILE_KINDS = ("hover", "tour", "steer", "swarm")
+
+#: Default control rates per runner kind, matching the built-in missions.
+DEFAULT_RATE_HZ = {"flapping": 2000.0, "strider": 200.0}
+
+
+@dataclass
+class GustHoverMission(HoverMission):
+    """Hover under a wind-gust schedule.
+
+    Each gust ``(t0, duration, dx, dy, dz)`` drags the reference away
+    from the setpoint along a raised-cosine bump — smooth in and out, so
+    the controller sees a disturbance-like excursion with a bounded rate.
+    The reference is a pure function of ``t``: byte-identical replay.
+    """
+
+    #: Gust schedule: (start_s, duration_s, dx_m, dy_m, dz_m) tuples.
+    gusts: Tuple[Tuple[float, float, float, float, float], ...] = ()
+
+    def reference(self, t: float) -> np.ndarray:
+        """Setpoint plus the sum of all currently active gust bumps."""
+        ref = np.array(self.setpoint, dtype=np.float64)
+        for t0, duration, dx, dy, dz in self.gusts:
+            if t0 <= t < t0 + duration and duration > 0.0:
+                phase = (t - t0) / duration
+                bump = 0.5 * (1.0 - math.cos(2.0 * math.pi * phase))
+                ref = ref + bump * np.array([dx, dy, dz])
+        return ref
+
+
+def validate_profile(profile: dict, *, top_level: bool = True) -> None:
+    """Check a profile dict is well-formed; raise ``ValueError`` if not.
+
+    Args:
+        profile: The profile dict to check.
+        top_level: Swarm profiles may only appear at the top level
+            (agents cannot nest swarms).
+    """
+    if not isinstance(profile, dict):
+        raise ValueError(f"mission profile must be a dict, got {profile!r}")
+    kind = profile.get("kind")
+    if kind not in PROFILE_KINDS:
+        raise ValueError(
+            f"unknown mission profile kind {kind!r}; "
+            f"available: {PROFILE_KINDS}"
+        )
+    if kind == "swarm":
+        if not top_level:
+            raise ValueError("swarm profiles cannot nest inside a swarm")
+        agents = profile.get("agents")
+        if not agents:
+            raise ValueError("swarm profile needs a non-empty 'agents' list")
+        for agent in agents:
+            validate_profile(agent, top_level=False)
+        return
+    duration = profile.get("duration_s", 0.0)
+    if not duration or duration <= 0.0:
+        raise ValueError(f"{kind} profile needs a positive duration_s")
+    rate = profile.get("control_rate_hz")
+    if rate is not None and rate <= 0.0:
+        raise ValueError(f"{kind} profile control_rate_hz must be positive")
+    if kind == "tour" and not profile.get("waypoints"):
+        raise ValueError("tour profile needs a non-empty 'waypoints' list")
+
+
+def runner_kind_of(profile: dict) -> str:
+    """The runner family a (non-swarm) profile flies on."""
+    return "strider" if profile["kind"] == "steer" else "flapping"
+
+
+def control_rate_of(profile: dict) -> float:
+    """The control rate a (non-swarm) profile steps at (Hz)."""
+    rate = profile.get("control_rate_hz")
+    if rate is not None:
+        return float(rate)
+    return DEFAULT_RATE_HZ[runner_kind_of(profile)]
+
+
+def mission_from_profile(profile: dict):
+    """Build the mission object a (non-swarm) profile describes.
+
+    Pure and import-safe: a process-pool worker calls this on the plain
+    dict it received, producing a mission byte-identical to the parent's.
+    Swarm profiles are flattened by the campaign planner before this
+    point (one call per agent).
+    """
+    kind = profile["kind"]
+    if kind == "hover":
+        return GustHoverMission(
+            name=profile.get("name", "gust-hover"),
+            duration_s=float(profile["duration_s"]),
+            setpoint=np.asarray(
+                profile.get("setpoint", (0.0, 0.0, 0.3)), dtype=np.float64
+            ),
+            success_rms_m=float(profile.get("success_rms_m", 0.05)),
+            abort_error_m=float(profile.get("abort_error_m", 0.5)),
+            max_steady_tilt_rad=float(
+                profile.get("max_steady_tilt_rad", 0.26)
+            ),
+            gusts=tuple(
+                tuple(float(v) for v in gust)
+                for gust in profile.get("gusts", ())
+            ),
+        )
+    if kind == "tour":
+        return WaypointMission(
+            name=profile.get("name", "tour"),
+            duration_s=float(profile["duration_s"]),
+            waypoints=tuple(
+                tuple(float(v) for v in wp) for wp in profile["waypoints"]
+            ),
+            success_rms_m=float(profile.get("success_rms_m", 0.09)),
+            abort_error_m=float(profile.get("abort_error_m", 0.6)),
+            max_steady_tilt_rad=float(
+                profile.get("max_steady_tilt_rad", 0.35)
+            ),
+        )
+    if kind == "steer":
+        return SteeringCourse(
+            name=profile.get("name", "steer"),
+            duration_s=float(profile["duration_s"]),
+            turn_rate_rad_s=float(profile.get("turn_rate_rad_s", 1.2)),
+            success_rms_rad=float(profile.get("success_rms_rad", 0.25)),
+            abort_error_rad=float(profile.get("abort_error_rad", 1.5)),
+        )
+    raise ValueError(f"cannot build a mission from profile kind {kind!r}")
+
+
+def flatten_agents(profile: dict) -> List[dict]:
+    """The flyable per-agent profiles of one top-level profile.
+
+    A swarm expands to its agents (set order); every other kind is its
+    own single agent.
+    """
+    if profile["kind"] == "swarm":
+        return list(profile["agents"])
+    return [profile]

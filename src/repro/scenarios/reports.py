@@ -1,0 +1,150 @@
+"""Campaign reports: Pareto fronts, failure rates, canonical JSON.
+
+A campaign's raw grids answer "what happened"; these reports answer the
+paper's questions: which kernel configurations are energy–latency
+Pareto-optimal across the sampled platforms, and how often do missions
+fail, per fault model and per mission kind.  Everything derives from the
+collated records in deterministic order, and :func:`save_report` writes
+canonical JSON — two campaigns over the same scenario set ``cmp`` equal
+whatever ``--jobs`` produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.scenarios.campaign import ScenarioCampaignResult
+
+#: Bumped when the report schema changes.
+REPORT_FORMAT_VERSION = 1
+
+
+def pareto_front(
+    records: List[dict], x_key: str, y_key: str
+) -> List[dict]:
+    """The non-dominated records, minimizing ``x_key`` and ``y_key``.
+
+    Records missing either coordinate are excluded.  Output order is
+    ascending ``x`` (so descending ``y``), with deterministic
+    tie-breaking on the full sorted record tuple.
+    """
+    points = [r for r in records
+              if r.get(x_key) is not None and r.get(y_key) is not None]
+    points.sort(key=lambda r: (r[x_key], r[y_key],
+                               json.dumps(r, sort_keys=True)))
+    front: List[dict] = []
+    best_y: Optional[float] = None
+    for record in points:
+        if best_y is None or record[y_key] < best_y:
+            front.append(record)
+            best_y = record[y_key]
+    return front
+
+
+def failure_rates(mission_grid: List[dict]) -> dict:
+    """Completion statistics: overall, per fault model, per mission kind."""
+
+    def _bucket(records: List[dict]) -> dict:
+        total = len(records)
+        completed = sum(1 for r in records if r["completed"])
+        return {
+            "total": total,
+            "completed": completed,
+            "failure_rate": round(1.0 - completed / total, 6) if total else 0.0,
+        }
+
+    by_fault: Dict[str, List[dict]] = {}
+    by_kind: Dict[str, List[dict]] = {}
+    for record in mission_grid:
+        by_fault.setdefault(record["fault"] or "clean", []).append(record)
+        by_kind.setdefault(record["kind"], []).append(record)
+    return {
+        "overall": _bucket(mission_grid),
+        "by_fault": {name: _bucket(records)
+                     for name, records in sorted(by_fault.items())},
+        "by_kind": {name: _bucket(records)
+                    for name, records in sorted(by_kind.items())},
+    }
+
+
+def build_report(result: ScenarioCampaignResult) -> dict:
+    """The full campaign report: grids + Pareto fronts + failure rates."""
+    kernel_front = pareto_front(
+        result.kernel_grid, "unit_energy_uj", "unit_latency_us"
+    )
+    mission_front = pareto_front(
+        [r for r in result.mission_grid if r["completed"]],
+        "compute_energy_j", "compute_latency_s",
+    )
+    return {
+        "format_version": REPORT_FORMAT_VERSION,
+        "address": result.address,
+        "tier": result.tier,
+        "seed": result.seed,
+        "generator": result.generator,
+        "scenarios": result.scenarios,
+        "counts": {
+            "kernel_cells": len(result.kernel_grid),
+            "mission_jobs": len(result.mission_grid),
+        },
+        "cache_stats": result.cache_stats,
+        "kernel_grid": result.kernel_grid,
+        "mission_grid": result.mission_grid,
+        "pareto": {
+            "kernel": kernel_front,
+            "mission": mission_front,
+        },
+        "failure_rates": failure_rates(result.mission_grid),
+    }
+
+
+def save_report(report: dict, path: Union[str, Path]) -> Path:
+    """Write a report as canonical JSON (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: dict) -> str:
+    """Human-readable campaign summary for the CLI."""
+    lines = [
+        f"scenario campaign: tier {report['tier']}  "
+        f"seed {report['seed']}  address {report['address']}",
+        f"  scenarios: {report['scenarios']}  "
+        f"kernel cells: {report['counts']['kernel_cells']}  "
+        f"mission jobs: {report['counts']['mission_jobs']}",
+    ]
+    stats = report.get("cache_stats") or {}
+    if stats:
+        hits = stats.get("memory_hits", 0) + stats.get("disk_hits", 0)
+        lines.append(f"  trace cache: {hits} hits, "
+                     f"{stats.get('misses', 0)} misses")
+    rates = report["failure_rates"]
+    overall = rates["overall"]
+    if overall["total"]:
+        lines.append(
+            f"  missions: {overall['completed']}/{overall['total']} "
+            f"completed (failure rate {overall['failure_rate']:.3f})"
+        )
+        for fault, bucket in rates["by_fault"].items():
+            lines.append(
+                f"    {fault:<14} {bucket['completed']:>4}/"
+                f"{bucket['total']:<4} failure {bucket['failure_rate']:.3f}"
+            )
+    kernel_front = report["pareto"]["kernel"]
+    lines.append(f"  energy-latency Pareto front: "
+                 f"{len(kernel_front)} kernel points, "
+                 f"{len(report['pareto']['mission'])} mission points")
+    for record in kernel_front[:8]:
+        lines.append(
+            f"    {record['kernel']:<14} {record['scalar']:<6} "
+            f"{record['arch_label']:<22} "
+            f"{record['unit_energy_uj']:>10.3f} uJ "
+            f"{record['unit_latency_us']:>10.3f} us"
+        )
+    if len(kernel_front) > 8:
+        lines.append(f"    ... {len(kernel_front) - 8} more")
+    return "\n".join(lines)

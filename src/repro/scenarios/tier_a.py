@@ -1,0 +1,101 @@
+"""Tier A: the paper's real platforms, pinned as scenario specs.
+
+The benchmark suite's anchor points — the RoboBee flapping-wing vehicle
+in hover and on a waypoint tour, the water-strider steering course, and
+the visual-odometry frontend pipeline — each expressed as a
+:class:`~repro.scenarios.spec.ScenarioSpec` so campaign tooling treats
+the reference platforms and Tier-B synthetics uniformly.  Tier A is a
+fixed registry: the same four scenarios every time, regardless of seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.scenarios.spec import ScenarioSet, ScenarioSpec
+
+
+def _robobee_hover() -> ScenarioSpec:
+    """RoboBee hover-hold with the full attitude + control stack."""
+    return ScenarioSpec(
+        name="robobee-hover",
+        tier="a",
+        arch="m4",
+        mission={"kind": "hover", "name": "hover-hold", "duration_s": 0.5},
+        kernels=("mahony", "bee-geom", "bee-ceekf"),
+        scalar="f32",
+    )
+
+
+def _robobee_waypoints() -> ScenarioSpec:
+    """RoboBee waypoint tour: the paper's trajectory-tracking mission."""
+    return ScenarioSpec(
+        name="robobee-waypoints",
+        tier="a",
+        arch="m4",
+        mission={
+            "kind": "tour",
+            "name": "waypoints",
+            "duration_s": 1.2,
+            "waypoints": [
+                [0.0, 0.0, 0.3],
+                [0.15, 0.0, 0.35],
+                [0.15, 0.15, 0.3],
+            ],
+        },
+        kernels=("madgwick", "bee-smac"),
+        scalar="f32",
+    )
+
+
+def _strider_course() -> ScenarioSpec:
+    """Water-strider heading course on the smallest supported core."""
+    return ScenarioSpec(
+        name="strider-course",
+        tier="a",
+        arch="m0plus",
+        mission={
+            "kind": "steer",
+            "name": "steering-course",
+            "duration_s": 2.0,
+            "turn_rate_rad_s": 1.2,
+        },
+        kernels=("fourati",),
+        scalar="f32",
+    )
+
+
+def _vo_frontend() -> ScenarioSpec:
+    """Visual-odometry frontend: kernel-only, no closed-loop mission."""
+    return ScenarioSpec(
+        name="vo-frontend",
+        tier="a",
+        arch="m7",
+        mission=None,
+        kernels=("fastbrief", "lkof", "p3p", "homography"),
+        scalar="f32",
+    )
+
+
+#: Tier-A scenario factories, in canonical order.
+_TIER_A = (
+    _robobee_hover,
+    _robobee_waypoints,
+    _strider_course,
+    _vo_frontend,
+)
+
+
+def tier_a_names() -> Tuple[str, ...]:
+    """The Tier-A scenario names, in canonical order."""
+    return tuple(factory().name for factory in _TIER_A)
+
+
+def tier_a_set() -> ScenarioSet:
+    """The full Tier-A scenario set (validated, deterministic)."""
+    return ScenarioSet(
+        scenarios=tuple(factory() for factory in _TIER_A),
+        tier="a",
+        seed=0,
+        generator="tier-a-registry",
+    ).validated()

@@ -27,10 +27,14 @@ PUBLIC_API = [
     "HarnessConfig",
     "HoverMission",
     "MISSION_NAMES",
+    "MissionKeyError",
     "MissionQuery",
     "MissionResult",
     "MissionSpec",
     "ResultKeyError",
+    "ScenarioGenerator",
+    "ScenarioSet",
+    "ScenarioSpec",
     "ServiceBroker",
     "ServiceClient",
     "ServiceServer",
@@ -44,11 +48,15 @@ PUBLIC_API = [
     "build_report",
     "characterize",
     "fault_names",
+    "generate_scenarios",
     "get_fault",
+    "mission_names",
     "query",
+    "register_mission",
     "render_report",
     "run_campaign",
     "run_mission",
+    "run_scenarios",
     "save_report",
     "sweep",
 ]

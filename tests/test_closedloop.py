@@ -168,3 +168,62 @@ class TestClosedLoopRunners:
         assert result.duration_s > 0
         assert 0 <= result.deadline_hit_rate <= 1
         assert result.compute_energy_mj == pytest.approx(result.compute_energy_j * 1e3)
+
+
+class TestMissionRegistry:
+    def test_builtins_are_registered(self):
+        from repro.closedloop import MISSION_NAMES, mission_names
+
+        assert set(MISSION_NAMES) <= set(mission_names())
+        assert {"hover", "waypoints", "steer"} <= set(mission_names())
+
+    def test_unknown_mission_raises_typed_error_with_suggestion(self):
+        from repro.closedloop import MissionKeyError
+        from repro.closedloop.missions import mission_entry
+
+        with pytest.raises(MissionKeyError) as excinfo:
+            mission_entry("hoover")
+        err = excinfo.value
+        assert isinstance(err, KeyError)
+        assert err.requested == "hoover"
+        assert err.suggestion == "hover"
+        assert "did you mean 'hover'?" in str(err)
+
+    def test_spec_validation_surfaces_the_typed_error(self):
+        from repro.closedloop import MissionKeyError, MissionSpec
+
+        with pytest.raises(MissionKeyError, match="did you mean"):
+            MissionSpec(mission="waypointss").validated()
+
+    def test_register_custom_mission_end_to_end(self):
+        from repro.closedloop import register_mission
+        from repro.closedloop.missions import (
+            mission_names,
+            unregister_mission,
+        )
+        from repro.closedloop.runner import make_runner
+
+        register_mission(
+            "blink-hover", lambda: HoverMission(duration_s=0.05),
+            control_rate_hz=500.0, runner="flapping",
+        )
+        try:
+            assert "blink-hover" in mission_names()
+            with pytest.raises(ValueError, match="already registered"):
+                register_mission("blink-hover", HoverMission)
+            runner = make_runner("blink-hover", "m33")
+            assert isinstance(runner, FlappingWingRunner)
+            assert runner.control_period == pytest.approx(1 / 500.0)
+        finally:
+            unregister_mission("blink-hover")
+        assert "blink-hover" not in mission_names()
+
+    def test_register_rejects_bad_arguments(self):
+        from repro.closedloop import register_mission
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_mission("", HoverMission)
+        with pytest.raises(ValueError, match="runner kind"):
+            register_mission("x-run", HoverMission, runner="rover")
+        with pytest.raises(ValueError, match="control_rate_hz"):
+            register_mission("x-rate", HoverMission, control_rate_hz=0)
