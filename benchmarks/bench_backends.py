@@ -1,0 +1,114 @@
+"""Cross-ISA pricing benches for the backend registry.
+
+Not a paper table — this quantifies what the multi-ISA registry buys:
+the same op trace priced on every characterization core of every
+backend, and the quantized-vs-float cost of the TinyML kernel per ISA
+family (the deployment story: int8 is a large win on soft-float cores
+and roughly a wash on an FPU core).
+
+The deterministic pricing rows are committed as
+``benchmarks/BENCH_backends.json`` and the bench asserts the regenerated
+numbers still match — a pricing drift on any backend fails here before
+it reaches a paper table.  Wall-clock throughput (priced cells per
+second) is measured by the benchmark fixture and written only to
+``benchmarks/output/``, never compared.
+"""
+
+import json
+from pathlib import Path
+
+from repro.backends import characterization_archs, get_arch, list_backends
+from repro.core import registry
+from repro.core.config import HarnessConfig
+from repro.core.harness import Harness
+from repro.mcu.cache import CACHE_ON
+
+SEED_PATH = Path(__file__).parent / "BENCH_backends.json"
+CONFIG = HarnessConfig(reps=1, warmup_reps=0)
+
+#: Float reference kernel priced on every characterization core.
+REFERENCE_KERNEL = "mahony"
+#: (float kernel, quantized kernel) pairs priced per-core for the ratio.
+QUANT_PAIR = ("proximity-net", "proximity-net-int8")
+#: Cores for the quantized comparison: one soft-float and one FPU core
+#: per backend.
+QUANT_CORES = ("m0plus", "m4", "rv32imc", "rv32imafc")
+
+
+def _run(kernel: str, arch_name: str):
+    problem = registry.create(kernel)
+    return Harness(get_arch(arch_name), CONFIG).run(problem, CACHE_ON)
+
+
+def _pricing() -> dict:
+    """The deterministic cross-ISA pricing summary (the committed half)."""
+    per_core = {}
+    for arch in characterization_archs():
+        result = _run(REFERENCE_KERNEL, arch.name)
+        per_core[arch.name] = {
+            "isa": arch.isa,
+            "unit_cycles": round(result.unit_cycles, 3),
+            "unit_latency_us": round(result.unit_latency_us, 3),
+            "unit_energy_uj": round(result.unit_energy_uj, 3),
+        }
+    quantized = {}
+    for core in QUANT_CORES:
+        flt = _run(QUANT_PAIR[0], core)
+        q8 = _run(QUANT_PAIR[1], core)
+        if not (flt.fits and q8.fits):
+            # The CNN's activation buffers overflow the core's SRAM
+            # entirely (the M0+'s 20 KB); record the fact, not a NaN.
+            quantized[core] = {"fits": False}
+            continue
+        quantized[core] = {
+            "float_unit_latency_us": round(flt.unit_latency_us, 3),
+            "int8_unit_latency_us": round(q8.unit_latency_us, 3),
+            "int8_speedup": round(flt.unit_latency_us / q8.unit_latency_us, 3),
+        }
+    return {
+        "backends": list_backends(),
+        "reference_kernel": REFERENCE_KERNEL,
+        "per_core": per_core,
+        "quantized": {"pair": list(QUANT_PAIR), "per_core": quantized},
+    }
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_bench_backends_pricing(benchmark, save_artifact):
+    """Regenerate the cross-ISA pricing seed and diff it against the
+    committed ``BENCH_backends.json``; time one full registry pricing
+    pass for the throughput figure."""
+    pricing = benchmark(_pricing)
+
+    cells = len(pricing["per_core"]) + 2 * len(QUANT_CORES)
+    seconds = benchmark.stats.stats.mean
+    save_artifact(
+        "bench_backends",
+        _canonical(pricing)
+        + f"throughput: {cells / seconds:.1f} priced cells/s "
+        f"({cells} cells in {seconds:.3f}s mean)",
+    )
+
+    committed = json.loads(SEED_PATH.read_text())
+    assert pricing == committed, (
+        "cross-ISA pricing drifted from benchmarks/BENCH_backends.json; "
+        "if the change is intentional, regenerate the seed with "
+        "`python benchmarks/bench_backends.py`"
+    )
+
+    # The deployment story in one assert pair: int8 is a big win on the
+    # soft-float core, and no such win on the FPU cores (the M0+ cannot
+    # hold the CNN's activations at all).
+    q = pricing["quantized"]["per_core"]
+    assert q["m0plus"] == {"fits": False}
+    assert q["rv32imc"]["int8_speedup"] > 2.0
+    assert q["m4"]["int8_speedup"] < 1.5
+    assert q["rv32imafc"]["int8_speedup"] < 1.5
+
+
+if __name__ == "__main__":
+    SEED_PATH.write_text(_canonical(_pricing()))
+    print(f"wrote {SEED_PATH}")

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.harness import Harness
-from repro.mcu.arch import ARCHS
+from repro.mcu.arch import get_arch
 from repro.mcu.cache import CACHE_ON
 from repro.scalar import F32, ScalarType, parse_scalar
 
@@ -116,7 +116,7 @@ def table7_attitude(
     """Table VII: per-update latency (us), energy (nJ), peak power (mW)."""
     config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
     rows: List[Dict] = []
-    harnesses = {a: Harness(ARCHS[a], config) for a in TABLE7_ARCHS}
+    harnesses = {a: Harness(get_arch(a), config) for a in TABLE7_ARCHS}
     for name, label in FILTER_VARIANTS:
         for scalar in scalars:
             scalar = parse_scalar(scalar) if not isinstance(scalar, ScalarType) else scalar

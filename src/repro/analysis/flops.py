@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.harness import Harness
-from repro.mcu.arch import ARCHS, ArchSpec
+from repro.mcu.arch import ArchSpec, get_arch
 from repro.mcu.cache import CACHE_ON
 
 #: Table VIII kernels.
@@ -54,7 +54,7 @@ def table8_flops(
 ) -> List[Dict]:
     """Table VIII rows: FLOPs, cycles, estimated vs measured energy."""
     config = config if config is not None else HarnessConfig(reps=1, warmup_reps=0)
-    harnesses = {a: Harness(ARCHS[a], config) for a in TABLE8_ARCHS}
+    harnesses = {a: Harness(get_arch(a), config) for a in TABLE8_ARCHS}
     rows: List[Dict] = []
     for kernel in kernels:
         probe = registry.create(kernel)
@@ -65,7 +65,7 @@ def table8_flops(
         for arch_name in TABLE8_ARCHS:
             problem = registry.create(kernel)
             result = harnesses[arch_name].run(problem, CACHE_ON)
-            est_j = flop_estimated_energy_j(ARCHS[arch_name], int(flops_per_unit))
+            est_j = flop_estimated_energy_j(get_arch(arch_name), int(flops_per_unit))
             row[f"cycles_{arch_name}"] = result.unit_cycles
             row[f"est_energy_{arch_name}_uj"] = est_j * 1e6
             row[f"meas_energy_{arch_name}_uj"] = result.unit_energy_uj

@@ -14,7 +14,7 @@ from repro.api import EngineOptions, SweepResults, SweepSpec, sweep
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.results import si_format
-from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, ArchSpec
+from repro.mcu.arch import CHARACTERIZATION_ARCHS, ArchSpec, get_arch
 from repro.mcu.cache import CACHE_OFF, CACHE_ON
 from repro.mcu.memory import check_fit
 from repro.mcu.static import static_profile
@@ -141,7 +141,7 @@ def table5_architectures() -> List[Dict]:
     """Table V: the considered Cortex-M architectures."""
     rows = []
     for name in ("m4", "m33", "m7"):
-        arch = ARCHS[name]
+        arch = get_arch(name)
         rows.append(
             {
                 "core": arch.core,

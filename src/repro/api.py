@@ -107,6 +107,8 @@ __all__ = [
     # verbs
     "characterize",
     "generate_scenarios",
+    "get_arch",
+    "list_backends",
     "query",
     "run_campaign",
     "run_mission",
@@ -211,6 +213,31 @@ def run_campaign(
     from repro.faults import run_campaign as _run_campaign
 
     return _run_campaign(spec, jobs=jobs, options=options, telemetry=telemetry)
+
+
+def list_backends() -> List[dict]:
+    """The registered ISA backends, one JSON-ready row per backend.
+
+    Each row carries the backend name (``cortex-m``, ``riscv``), its
+    description, every arch it registers, and its default
+    characterization subset — the facade form of
+    ``repro.backends.list_backends``.
+    """
+    from repro.backends import list_backends as _list_backends
+
+    return _list_backends()
+
+
+def get_arch(name: str):
+    """Resolve an architecture by short name through the backend registry.
+
+    Returns the :class:`~repro.mcu.arch.ArchSpec`; unknown names raise
+    ``ArchKeyError`` (a ``KeyError`` subclass carrying a nearest-match
+    suggestion).
+    """
+    from repro.backends import get_arch as _get_arch
+
+    return _get_arch(name)
 
 
 def query(

@@ -1,0 +1,53 @@
+"""Multi-ISA architecture backends.
+
+``repro.backends`` owns every architecture constant in the repo: which
+cores exist, their CPI tables, cache/wait-state policies, and static-mix
+factors.  The pricing models in :mod:`repro.mcu` are generic over the
+:class:`ArchBackend` interface and resolve their constants through this
+registry (a lint rule — ``arch-constants`` — rejects CPI/power tables
+defined anywhere else).
+
+Importing this package registers the built-in backends: the Cortex-M
+fleet the paper measures on and an RV32 family for cross-ISA studies.
+See ``docs/backends.md`` for the interface contract and how to add an
+ISA.
+"""
+
+from repro.backends.base import (
+    ArchBackend,
+    ArchKeyError,
+    BranchCostTable,
+    IntCostTable,
+    SoftFloatExpansion,
+    all_archs,
+    arch_names,
+    backend_for,
+    backend_names,
+    characterization_archs,
+    get_arch,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+
+# Importing the built-in backend modules runs their register_backend()
+# calls; registration order fixes arch_names() / characterization order.
+from repro.backends import cortex_m as _cortex_m  # noqa: F401,E402
+from repro.backends import riscv as _riscv  # noqa: F401,E402
+
+__all__ = [
+    "ArchBackend",
+    "ArchKeyError",
+    "BranchCostTable",
+    "IntCostTable",
+    "SoftFloatExpansion",
+    "all_archs",
+    "arch_names",
+    "backend_for",
+    "backend_names",
+    "characterization_archs",
+    "get_arch",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+]

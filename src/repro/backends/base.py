@@ -1,0 +1,286 @@
+"""The :class:`ArchBackend` interface and the multi-ISA registry.
+
+A *backend* owns everything that is specific to one instruction-set
+family: which cores exist, their CPI tables per scalar type, the integer
+/ memory / branch cost model, the instruction-fetch geometry, and how the
+static code model's per-core factors and soft-float expansions behave.
+The pricing stack in :mod:`repro.mcu` is generic over this interface —
+``mcu.pipeline`` / ``mcu.static`` / ``mcu.cache`` look their constants up
+through :func:`backend_for` instead of hard-coding Cortex-M tables.
+
+Backends register themselves at import time (see
+:mod:`repro.backends.cortex_m` and :mod:`repro.backends.riscv`); the
+registry then answers every "which architectures exist?" question in the
+repo: :func:`get_arch` (typed errors with a nearest-match suggestion),
+:func:`arch_names`, and :func:`characterization_archs` (the default core
+set for sweeps, filterable by ISA so the paper's Cortex-M tables stay
+pinned while new ISAs appear in ``characterize`` automatically).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.mcu.arch import ArchSpec
+from repro.mcu.cache import _footprint_hit_rate
+from repro.scalar import ScalarType
+
+
+@dataclass(frozen=True)
+class IntCostTable:
+    """Per-op integer / memory / call costs (cycles per dynamic op)."""
+
+    ialu: float = 1.0
+    imul: float = 1.0
+    idiv: float = 6.0
+    icmp: float = 1.0
+    simd: float = 1.0
+    load: float = 2.0
+    store: float = 1.0
+    call: float = 4.0
+
+
+@dataclass(frozen=True)
+class BranchCostTable:
+    """Taken-branch and not-taken (refill) costs in cycles."""
+
+    taken: float
+    refill: float = 1.0
+
+
+@dataclass(frozen=True)
+class SoftFloatExpansion:
+    """Static-code inflation on FPU-less cores: float ops become
+    integer / memory / branch instructions in the compiled library."""
+
+    i_per_f: float
+    m_per_f: float
+    b_per_f: float
+
+
+class ArchKeyError(KeyError):
+    """An unknown architecture name, with a nearest-match suggestion.
+
+    The architecture counterpart of
+    :class:`~repro.closedloop.missions.MissionKeyError`: raised instead
+    of a bare ``KeyError`` so callers (the CLI, the query service,
+    scenario validation) can catch the lookup failure specifically, and
+    so the message names the closest registered core rather than echoing
+    an opaque string.
+    """
+
+    def __init__(self, requested: str, suggestion: Optional[str] = None):
+        self.requested = requested
+        self.suggestion = suggestion
+        message = (
+            f"unknown architecture {requested!r}; available: {arch_names()}"
+        )
+        if suggestion is not None:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the prose.
+        return self.args[0]
+
+
+class ArchBackend:
+    """One ISA family: its cores plus every family-specific cost policy.
+
+    Subclasses override :meth:`archs`, :meth:`characterization`,
+    :meth:`float_cpi`, and :meth:`static_factors`; the remaining methods
+    have generic defaults that match a simple in-order scalar core and
+    may be overridden where the family's microarchitecture differs (the
+    Cortex-M backend, for example, overrides :meth:`ifetch_hit_rate` to
+    model ST's ART flash accelerator).
+    """
+
+    #: Registry key and ISA-family label (``cortex-m``, ``riscv``).
+    name: str = ""
+    #: Human-readable family description for ``repro backends list``.
+    description: str = ""
+
+    # -- core inventory -------------------------------------------------
+    def archs(self) -> Tuple[ArchSpec, ...]:
+        """Every core this backend registers, in canonical order."""
+        raise NotImplementedError
+
+    def characterization(self) -> Tuple[str, ...]:
+        """Core names included in the default characterization set."""
+        raise NotImplementedError
+
+    # -- dynamic cost model ---------------------------------------------
+    def float_cpi(self, arch: ArchSpec, scalar: ScalarType) -> Mapping[str, float]:
+        """The float-op cost table for this core and scalar type."""
+        raise NotImplementedError
+
+    def int_costs(self, arch: ArchSpec) -> IntCostTable:
+        """Integer / memory / call op costs for this core."""
+        return IntCostTable(idiv=6.0 if arch.has_hw_divide else 45.0)
+
+    def branch_costs(self, arch: ArchSpec) -> BranchCostTable:
+        """Branch costs: predictors hide most of the taken penalty."""
+        if arch.branch_predictor:
+            return BranchCostTable(taken=1.2, refill=1.0)
+        return BranchCostTable(taken=float(arch.pipeline_stages - 1), refill=1.0)
+
+    # -- instruction-fetch / cache policy -------------------------------
+    def fetch_fraction(self, arch: ArchSpec) -> float:
+        """Fraction of dynamic instructions needing a new fetch word."""
+        return 0.35
+
+    def ifetch_hit_rate(self, arch: ArchSpec, enabled: bool,
+                        code_bytes: int) -> float:
+        """Instruction-side hit rate for a code footprint."""
+        cache = arch.cache
+        if not cache.has_icache or not enabled:
+            return 0.0
+        return _footprint_hit_rate(code_bytes, cache.icache_bytes, floor=0.55)
+
+    def dmem_hit_rate(self, arch: ArchSpec, enabled: bool,
+                      data_bytes: int) -> float:
+        """Data-side hit rate for a working set."""
+        cache = arch.cache
+        if not cache.has_dcache or not enabled:
+            return 0.0
+        return _footprint_hit_rate(data_bytes, cache.dcache_bytes, floor=0.45)
+
+    # -- static code model ----------------------------------------------
+    def static_factors(self, core: str) -> Tuple[float, float, float, float]:
+        """(F, I, M, B) static-mix multipliers vs the base (M4) mix."""
+        raise NotImplementedError
+
+    def softfloat_static_expansion(
+        self, core: str
+    ) -> Optional[SoftFloatExpansion]:
+        """Static soft-float library expansion, or ``None`` with an FPU."""
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BACKENDS: Dict[str, ArchBackend] = {}
+_BACKEND_ORDER: List[str] = []
+_ARCH_INDEX: Dict[str, ArchSpec] = {}
+_ARCH_BACKEND: Dict[str, str] = {}
+
+
+def register_backend(backend: ArchBackend) -> ArchBackend:
+    """Register a backend and index every core it provides."""
+    if not backend.name:
+        raise ValueError("backend must set a non-empty name")
+    if backend.name in _BACKENDS:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    specs = backend.archs()
+    for spec in specs:
+        if spec.name in _ARCH_INDEX:
+            raise ValueError(
+                f"arch {spec.name!r} already registered by backend "
+                f"{_ARCH_BACKEND[spec.name]!r}"
+            )
+    _BACKENDS[backend.name] = backend
+    _BACKEND_ORDER.append(backend.name)
+    for spec in specs:
+        _ARCH_INDEX[spec.name] = spec
+        _ARCH_BACKEND[spec.name] = backend.name
+    for core in backend.characterization():
+        if core not in _ARCH_INDEX:
+            raise ValueError(
+                f"backend {backend.name!r} characterization names unknown "
+                f"core {core!r}"
+            )
+    return backend
+
+
+def backend_names() -> List[str]:
+    """Registered backend (ISA family) names, in registration order."""
+    return list(_BACKEND_ORDER)
+
+
+def get_backend(name: str) -> ArchBackend:
+    """Look up a backend by ISA-family name (``cortex-m``, ``riscv``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {backend_names()}"
+        ) from None
+
+
+def backend_for(arch) -> ArchBackend:
+    """The backend owning an arch (spec, name, or derated variant).
+
+    Fault-derated variants (``m33+brownout:0.5``) resolve through
+    :attr:`~repro.mcu.arch.ArchSpec.base_name` — they run the same
+    compiled binary, and therefore the same cost tables, as their base
+    core.
+    """
+    base = arch.base_name if isinstance(arch, ArchSpec) else str(arch).split("+", 1)[0]
+    try:
+        return _BACKENDS[_ARCH_BACKEND[base]]
+    except KeyError:
+        raise ArchKeyError(base, _closest(base)) from None
+
+
+def _closest(requested: str) -> Optional[str]:
+    matches = difflib.get_close_matches(
+        requested.lower(), sorted(_ARCH_INDEX), n=1, cutoff=0.4
+    )
+    return matches[0] if matches else None
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up an architecture by short name (``m4``, ``rv32imafc``, ...)."""
+    try:
+        return _ARCH_INDEX[name.lower()]
+    except (KeyError, AttributeError):
+        requested = str(name)
+        raise ArchKeyError(requested, _closest(requested)) from None
+
+
+def arch_names() -> List[str]:
+    """Every registered core name, in backend registration order."""
+    return list(_ARCH_INDEX)
+
+
+def all_archs() -> Tuple[ArchSpec, ...]:
+    """Every registered core spec, in backend registration order."""
+    return tuple(_ARCH_INDEX.values())
+
+
+def characterization_archs(isa: Optional[str] = None) -> Tuple[ArchSpec, ...]:
+    """The default characterization core set, derived from the registry.
+
+    With ``isa=None`` every backend contributes its characterization
+    cores — a newly registered ISA appears in default ``characterize``
+    sweeps without touching :mod:`repro.mcu.arch`.  Pass a backend name
+    (``"cortex-m"``) to pin a study to one family, as the paper-table
+    code does.
+    """
+    if isa is not None:
+        backends = [get_backend(isa)]
+    else:
+        backends = [_BACKENDS[n] for n in _BACKEND_ORDER]
+    out: List[ArchSpec] = []
+    for backend in backends:
+        out.extend(_ARCH_INDEX[core] for core in backend.characterization())
+    return tuple(out)
+
+
+def list_backends() -> List[dict]:
+    """Registry summary rows (one per backend) for the API and CLI."""
+    rows = []
+    for name in _BACKEND_ORDER:
+        backend = _BACKENDS[name]
+        rows.append(
+            {
+                "backend": name,
+                "description": backend.description,
+                "archs": [spec.name for spec in backend.archs()],
+                "characterization": list(backend.characterization()),
+            }
+        )
+    return rows

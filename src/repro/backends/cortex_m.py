@@ -1,0 +1,218 @@
+"""The Cortex-M backend: the paper's four boards as one ISA family.
+
+Four cores are modeled, matching the boards the paper measures on:
+
+* ``m0plus`` — a generic STM32 Cortex-M0+ part (Case Study 2 only): 2-stage
+  pipeline, no FPU, no caches, low clock, very low power.
+* ``m4`` — NUCLEO-STM32G474RE: 3-stage ARMv7E-M, SP FPU, 170 MHz, 128 KB
+  SRAM.  Its "cache" is ST's small ART flash accelerator, which barely
+  changes timing — the paper observes near-identical cache on/off numbers.
+* ``m33`` — NUCLEO-STM32U575ZIQ: 3-stage ARMv8-M Mainline, SP FPU, 160 MHz,
+  8 KB I/D caches, modern low-power process node → by far the most energy
+  efficient core in the study.
+* ``m7`` — NUCLEO-STM32H7A3ZIQ: 6-stage superscalar ARMv7E-M with branch
+  prediction, DP FPU, 280 MHz, 16 KB I/D caches.  Heavily cache dependent:
+  the vendor linker script places the stack in AXI SRAM, so uncached runs
+  pay large wait-state penalties.
+
+All quantitative parameters are calibrated so the *relationships* the paper
+reports (who wins, by what factor, where caches matter) are reproduced; they
+are not datasheet transcriptions.  Every constant here moved verbatim from
+``mcu/arch.py`` / ``mcu/pipeline.py`` / ``mcu/static.py`` — the registry
+refactor is byte-identical for Cortex-M outputs (asserted against committed
+goldens in ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.backends.base import (
+    ArchBackend,
+    SoftFloatExpansion,
+    register_backend,
+)
+from repro.mcu.arch import ArchSpec, CacheSpec, FpuSpec, MemorySpec, PowerSpec
+from repro.mcu.cache import _footprint_hit_rate
+from repro.scalar import ScalarType
+
+# Software-emulated float costs (cycles per op) for cores lacking the
+# relevant FPU.  These match the rough magnitudes of GCC's soft-float
+# routines on ARMv6-M / ARMv7-M.
+_SOFT_F32 = {"fadd": 48, "fmul": 40, "fdiv": 130, "fsqrt": 220, "ffma": 90,
+             "fcmp": 20, "fcvt": 25, "ffunc": 420}
+_SOFT_F64 = {"fadd": 28, "fmul": 34, "fdiv": 110, "fsqrt": 200, "ffma": 64,
+             "fcmp": 14, "fcvt": 16, "ffunc": 320}
+# Hardware single-precision FPU costs (M4/M33/M7 class).
+_HW_F32 = {"fadd": 1, "fmul": 1, "fdiv": 14, "fsqrt": 14, "ffma": 3,
+           "fcmp": 1, "fcvt": 1, "ffunc": 55}
+# Hardware double-precision FPU costs (M7 only).
+_HW_F64 = {"fadd": 1, "fmul": 2, "fdiv": 27, "fsqrt": 27, "ffma": 5,
+           "fcmp": 1, "fcvt": 1, "ffunc": 80}
+# Fixed-point costs on cores with a 32x32->64 multiplier: a multiply is
+# SMULL + shift + saturate checks, a divide needs a pre-shift and hardware
+# (or software) division.  The "ffunc" entry prices the iterative
+# integer routines (sqrt via Newton, trig via CORDIC/polynomials).
+_FIXED_FAST = {"fadd": 1, "fmul": 4, "fdiv": 20, "fsqrt": 90, "ffma": 5,
+               "fcmp": 1, "fcvt": 2, "ffunc": 160}
+# Fixed point on the M0+ (32x32->32 only; wide multiply is synthesized).
+_FIXED_M0 = {"fadd": 1, "fmul": 16, "fdiv": 70, "fsqrt": 160, "ffma": 18,
+             "fcmp": 1, "fcvt": 2, "ffunc": 260}
+
+M0PLUS = ArchSpec(
+    name="m0plus",
+    core="Cortex-M0+",
+    board="generic STM32 M0+",
+    isa="ARMv6-M",
+    pipeline_stages=2,
+    clock_hz=32e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=False, double=False),
+    cache=CacheSpec(icache_bytes=0, dcache_bytes=0),
+    memory=MemorySpec(
+        flash_bytes=128 * 1024,
+        sram_bytes=36 * 1024,
+        flash_wait_cycles=1.0,
+        sram_wait_cycles=0.0,
+    ),
+    power=PowerSpec(active_mw=13.0, cache_bonus_mw=0.0, activity_span_mw=3.0, idle_mw=1.0),
+    process_node_nm=90,
+    has_hw_divide=False,
+    has_dsp_simd=False,
+)
+
+M4 = ArchSpec(
+    name="m4",
+    core="Cortex-M4",
+    board="NUCLEO-STM32G474RE",
+    isa="ARMv7E-M",
+    pipeline_stages=3,
+    clock_hz=170e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=True, double=False),
+    cache=CacheSpec(icache_bytes=1024, dcache_bytes=0),  # ART flash accelerator
+    memory=MemorySpec(
+        flash_bytes=512 * 1024,
+        sram_bytes=128 * 1024,
+        flash_wait_cycles=4.0,
+        sram_wait_cycles=0.0,
+    ),
+    power=PowerSpec(active_mw=104.0, cache_bonus_mw=3.0, activity_span_mw=55.0, idle_mw=12.0),
+    process_node_nm=90,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+M33 = ArchSpec(
+    name="m33",
+    core="Cortex-M33",
+    board="NUCLEO-STM32U575ZIQ",
+    isa="ARMv8-M Mainline",
+    pipeline_stages=3,
+    clock_hz=160e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=True, double=False),
+    cache=CacheSpec(icache_bytes=8 * 1024, dcache_bytes=8 * 1024),
+    memory=MemorySpec(
+        flash_bytes=2 * 1024 * 1024,
+        sram_bytes=786 * 1024,
+        flash_wait_cycles=4.0,
+        sram_wait_cycles=1.0,
+    ),
+    power=PowerSpec(active_mw=29.0, cache_bonus_mw=2.0, activity_span_mw=12.0, idle_mw=3.0),
+    process_node_nm=40,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+M7 = ArchSpec(
+    name="m7",
+    core="Cortex-M7",
+    board="NUCLEO-STM32H7A3ZIQ",
+    isa="ARMv7E-M",
+    pipeline_stages=6,
+    clock_hz=280e6,
+    superscalar_ipc=1.45,
+    branch_predictor=True,
+    fpu=FpuSpec(single=True, double=True),
+    cache=CacheSpec(icache_bytes=16 * 1024, dcache_bytes=16 * 1024),
+    memory=MemorySpec(
+        flash_bytes=2 * 1024 * 1024,
+        sram_bytes=1408 * 1024,
+        flash_wait_cycles=6.0,
+        sram_wait_cycles=3.0,  # AXI SRAM stack placement
+    ),
+    power=PowerSpec(active_mw=118.0, cache_bonus_mw=38.0, activity_span_mw=60.0, idle_mw=18.0),
+    process_node_nm=40,
+    has_hw_divide=True,
+    has_dsp_simd=True,
+)
+
+# Per-arch systematic factors applied on top of the base (M4) mix.
+_ARCH_FACTORS: Dict[str, Tuple[float, float, float, float]] = {
+    # (F, I, M, B) multipliers
+    "m0plus": (0.0, 1.35, 1.20, 1.25),  # soft-float: F ops become I/M/B code
+    "m4": (1.0, 1.0, 1.0, 1.0),
+    "m33": (1.01, 0.99, 1.01, 0.99),
+    "m7": (0.94, 0.93, 0.97, 0.82),  # better scheduling & predication
+}
+
+# Soft-float libraries add float code expressed as int/mem/branch.
+_SOFTFLOAT_EXPANSION = SoftFloatExpansion(i_per_f=2.2, m_per_f=0.8, b_per_f=0.6)
+
+
+class CortexMBackend(ArchBackend):
+    """ARMv6-M / ARMv7E-M / ARMv8-M cores: the paper's measurement fleet."""
+
+    name = "cortex-m"
+    description = "ARM Cortex-M cores matching the paper's four boards"
+
+    def archs(self) -> Tuple[ArchSpec, ...]:
+        return (M0PLUS, M4, M33, M7)
+
+    def characterization(self) -> Tuple[str, ...]:
+        # The three cores characterized in the paper's Section V tables.
+        return ("m4", "m33", "m7")
+
+    def float_cpi(self, arch: ArchSpec, scalar: ScalarType) -> Mapping[str, float]:
+        if scalar.is_fixed:
+            return _FIXED_FAST if arch.has_hw_divide else _FIXED_M0
+        if scalar.kind == "f32":
+            return _HW_F32 if arch.fpu.single else _SOFT_F32
+        # f64
+        if arch.fpu.double:
+            return _HW_F64
+        base = _SOFT_F64 if not arch.fpu.single else {
+            # SP FPU present but doubles still go through software, partially
+            # accelerated by single-precision hardware in the helper routines.
+            k: max(1, int(v * 0.8)) for k, v in _SOFT_F64.items()
+        }
+        return base
+
+    def ifetch_hit_rate(self, arch: ArchSpec, enabled: bool,
+                        code_bytes: int) -> float:
+        cache = arch.cache
+        if not cache.has_icache:
+            return 0.0
+        if not enabled:
+            # The M4's ART accelerator is modeled as a tiny always-on
+            # prefetcher: "disabling" it still leaves sequential prefetch.
+            return 0.55 if cache.icache_bytes <= 1024 else 0.0
+        if cache.icache_bytes <= 1024:
+            # Flash accelerator: high hit rate for loopy code.
+            return 0.92
+        return _footprint_hit_rate(code_bytes, cache.icache_bytes, floor=0.55)
+
+    def static_factors(self, core: str) -> Tuple[float, float, float, float]:
+        return _ARCH_FACTORS[core]
+
+    def softfloat_static_expansion(
+        self, core: str
+    ) -> Optional[SoftFloatExpansion]:
+        return _SOFTFLOAT_EXPANSION if core == "m0plus" else None
+
+
+BACKEND = register_backend(CortexMBackend())

@@ -1,0 +1,198 @@
+"""The RISC-V backend: an RV32 MCU family alongside the Cortex-M fleet.
+
+Three cores spanning the same design space the paper's boards cover, so
+cross-ISA sweeps compare like against like:
+
+* ``rv32imc`` — an E31-class embedded core (FE310 lineage): 5-stage
+  single-issue RV32IMC with a gshare predictor, 16 KB I-cache over XIP
+  QSPI flash (the characteristic RISC-V MCU memory geometry: executing
+  from external flash is expensive, the I-cache is what makes it viable),
+  a 64 KB data scratchpad (DTIM — single cycle, no D-cache), and **no
+  FPU**: float kernels run through RV32IM soft-float libraries.
+* ``rv32imafc`` — a modern low-power SP-FPU core (E7/ESP32-C lineage) on
+  a 40 nm node with real 8 KB I/D caches: the RISC-V counterpart of the
+  M33 class.  Doubles still lower to (partially accelerated) soft float —
+  there is no D extension.
+* ``rv32ec`` — an E2-class RV32EC minimum-footprint core: 2-stage, 16
+  registers, no M extension (multiplies are synthesized shift/add
+  loops), no caches, microwatt-class power — the RISC-V counterpart of
+  the M0+.
+
+As with the Cortex-M tables, all parameters are calibrated to reproduce
+*relationships* (soft-float cliffs, cache sensitivity, process-node
+efficiency ordering), not transcribed from datasheets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.backends.base import (
+    ArchBackend,
+    IntCostTable,
+    SoftFloatExpansion,
+    register_backend,
+)
+from repro.mcu.arch import ArchSpec, CacheSpec, FpuSpec, MemorySpec, PowerSpec
+from repro.scalar import ScalarType
+
+# Soft-float costs on RV32IM: the fast 32x32->64 multiplier (MUL/MULHU)
+# speeds mantissa work vs ARMv6-M, but the lack of flags/predication costs
+# a little on compare-and-branch-dense paths.
+_SOFT_F32_RV = {"fadd": 50, "fmul": 36, "fdiv": 120, "fsqrt": 210, "ffma": 92,
+                "fcmp": 18, "fcvt": 22, "ffunc": 400}
+_SOFT_F64_RV = {"fadd": 30, "fmul": 38, "fdiv": 115, "fsqrt": 205, "ffma": 70,
+                "fcmp": 15, "fcvt": 18, "ffunc": 330}
+# Soft float on RV32E without the M extension: every mantissa multiply is
+# a synthesized shift/add loop — the steepest cliff in the whole registry.
+_SOFT_F32_RVE = {"fadd": 56, "fmul": 88, "fdiv": 190, "fsqrt": 300,
+                 "ffma": 150, "fcmp": 22, "fcvt": 28, "ffunc": 520}
+_SOFT_F64_RVE = {"fadd": 36, "fmul": 120, "fdiv": 240, "fsqrt": 380,
+                 "ffma": 180, "fcmp": 18, "fcvt": 24, "ffunc": 560}
+# Hardware single precision (F extension): fused FMADD.S is the RV win.
+_HW_F32_RV = {"fadd": 1, "fmul": 1, "fdiv": 16, "fsqrt": 18, "ffma": 2,
+              "fcmp": 1, "fcvt": 1, "ffunc": 58}
+# Fixed point through MUL/MULH + shift-back; RV lacks the DSP saturating
+# ops ARMv7E-M has, so saturation checks cost a branch each.
+_FIXED_RV = {"fadd": 1, "fmul": 5, "fdiv": 22, "fsqrt": 95, "ffma": 6,
+             "fcmp": 1, "fcvt": 2, "ffunc": 170}
+_FIXED_RVE = {"fadd": 1, "fmul": 20, "fdiv": 85, "fsqrt": 180, "ffma": 22,
+              "fcmp": 1, "fcvt": 2, "ffunc": 290}
+
+RV32IMC = ArchSpec(
+    name="rv32imc",
+    core="E31-class RV32",
+    board="FE310-class devkit",
+    isa="RV32IMC",
+    pipeline_stages=5,
+    clock_hz=150e6,
+    superscalar_ipc=1.0,
+    branch_predictor=True,  # gshare + small BTB
+    fpu=FpuSpec(single=False, double=False),
+    cache=CacheSpec(icache_bytes=16 * 1024, dcache_bytes=0),
+    memory=MemorySpec(
+        flash_bytes=4 * 1024 * 1024,  # external QSPI flash, XIP
+        sram_bytes=64 * 1024,  # DTIM scratchpad
+        flash_wait_cycles=10.0,  # XIP over QSPI: the I-cache earns its keep
+        sram_wait_cycles=0.0,  # single-cycle DTIM
+    ),
+    power=PowerSpec(active_mw=45.0, cache_bonus_mw=5.0, activity_span_mw=18.0, idle_mw=4.0),
+    process_node_nm=180,
+    has_hw_divide=True,
+    has_dsp_simd=False,
+)
+
+RV32IMAFC = ArchSpec(
+    name="rv32imafc",
+    core="E7-class RV32 SP-FPU",
+    board="generic RV32 SP-FPU SoC",
+    isa="RV32IMAFC",
+    pipeline_stages=4,
+    clock_hz=160e6,
+    superscalar_ipc=1.0,
+    branch_predictor=True,
+    fpu=FpuSpec(single=True, double=False),
+    cache=CacheSpec(icache_bytes=8 * 1024, dcache_bytes=8 * 1024),
+    memory=MemorySpec(
+        flash_bytes=2 * 1024 * 1024,
+        sram_bytes=512 * 1024,
+        flash_wait_cycles=4.0,
+        sram_wait_cycles=1.0,
+    ),
+    power=PowerSpec(active_mw=31.0, cache_bonus_mw=2.5, activity_span_mw=13.0, idle_mw=3.0),
+    process_node_nm=40,
+    has_hw_divide=True,
+    has_dsp_simd=False,
+)
+
+RV32EC = ArchSpec(
+    name="rv32ec",
+    core="E2-class RV32E",
+    board="generic RV32E LP MCU",
+    isa="RV32EC",
+    pipeline_stages=2,
+    clock_hz=48e6,
+    superscalar_ipc=1.0,
+    branch_predictor=False,
+    fpu=FpuSpec(single=False, double=False),
+    cache=CacheSpec(icache_bytes=0, dcache_bytes=0),
+    memory=MemorySpec(
+        flash_bytes=256 * 1024,
+        sram_bytes=32 * 1024,
+        flash_wait_cycles=1.0,
+        sram_wait_cycles=0.0,
+    ),
+    power=PowerSpec(active_mw=7.5, cache_bonus_mw=0.0, activity_span_mw=2.2, idle_mw=0.6),
+    process_node_nm=55,
+    has_hw_divide=False,  # no M extension
+    has_dsp_simd=False,
+)
+
+# Per-arch (F, I, M, B) static-mix multipliers vs the base (M4) mix.
+# RV32 emits somewhat more instructions than Thumb-2 for the same source
+# (no predication, no flexible addressing modes, compare-and-branch pairs).
+_ARCH_FACTORS: Dict[str, Tuple[float, float, float, float]] = {
+    "rv32imc": (0.0, 1.42, 1.24, 1.30),  # soft float: F code becomes I/M/B
+    "rv32imafc": (1.03, 1.06, 1.08, 1.12),
+    "rv32ec": (0.0, 1.55, 1.30, 1.38),
+}
+
+# Static soft-float library expansion per FPU-less core.
+_SOFTFLOAT_EXPANSION: Dict[str, SoftFloatExpansion] = {
+    "rv32imc": SoftFloatExpansion(i_per_f=2.4, m_per_f=0.9, b_per_f=0.65),
+    "rv32ec": SoftFloatExpansion(i_per_f=2.8, m_per_f=1.0, b_per_f=0.75),
+}
+
+_INT_COSTS: Dict[str, IntCostTable] = {
+    # E31: pipelined MUL has a 2-cycle result latency, DIV is iterative.
+    "rv32imc": IntCostTable(imul=2.0, idiv=7.0, call=3.0),
+    "rv32imafc": IntCostTable(imul=1.0, idiv=7.0, call=3.0),
+    # RV32E without M: MUL is a shift/add loop, DIV a full soft routine.
+    "rv32ec": IntCostTable(imul=14.0, idiv=44.0, call=4.0),
+}
+
+
+class RiscVBackend(ArchBackend):
+    """RV32 embedded cores: soft-float, SP-FPU, and minimum-footprint."""
+
+    name = "riscv"
+    description = "RV32 embedded cores (E31-class, SP-FPU, RV32E LP)"
+
+    def archs(self) -> Tuple[ArchSpec, ...]:
+        return (RV32IMC, RV32IMAFC, RV32EC)
+
+    def characterization(self) -> Tuple[str, ...]:
+        return ("rv32imc", "rv32imafc", "rv32ec")
+
+    def float_cpi(self, arch: ArchSpec, scalar: ScalarType) -> Mapping[str, float]:
+        has_m = arch.has_hw_divide  # the M extension brings MUL and DIV
+        if scalar.is_fixed:
+            return _FIXED_RV if has_m else _FIXED_RVE
+        if scalar.kind == "f32":
+            if arch.fpu.single:
+                return _HW_F32_RV
+            return _SOFT_F32_RV if has_m else _SOFT_F32_RVE
+        # f64: no RV32 core here has the D extension.
+        if arch.fpu.single:
+            # Soft doubles with SP-hardware-assisted helper routines.
+            return {k: max(1, int(v * 0.85)) for k, v in _SOFT_F64_RV.items()}
+        return _SOFT_F64_RV if has_m else _SOFT_F64_RVE
+
+    def int_costs(self, arch: ArchSpec) -> IntCostTable:
+        return _INT_COSTS[arch.base_name]
+
+    def fetch_fraction(self, arch: ArchSpec) -> float:
+        # RV32C code is slightly less dense than Thumb-2: a few more
+        # fetch words per hundred instructions.
+        return 0.38
+
+    def static_factors(self, core: str) -> Tuple[float, float, float, float]:
+        return _ARCH_FACTORS[core]
+
+    def softfloat_static_expansion(
+        self, core: str
+    ) -> Optional[SoftFloatExpansion]:
+        return _SOFTFLOAT_EXPANSION.get(core)
+
+
+BACKEND = register_backend(RiscVBackend())

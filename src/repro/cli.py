@@ -40,7 +40,8 @@ from typing import List, Optional
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.harness import Harness
-from repro.mcu.arch import ARCHS, CHARACTERIZATION_ARCHS, get_arch
+from repro.backends import arch_names, characterization_archs
+from repro.mcu.arch import get_arch
 from repro.mcu.cache import CACHE_OFF, CACHE_ON
 from repro.scalar import parse_scalar
 
@@ -53,6 +54,40 @@ def _cmd_list(args) -> int:
         print(f"{problem.stage:6s} {name:18s} {problem.category:16s} "
               f"{problem.dataset_name:16s}")
     return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.backends import list_backends
+
+    if args.backends_command == "list":
+        print(f"{'backend':10s} {'archs':34s} characterization")
+        print("-" * 78)
+        for row in list_backends():
+            print(f"{row['backend']:10s} {', '.join(row['archs']):34s} "
+                  f"{', '.join(row['characterization'])}")
+            print(f"{'':10s} {row['description']}")
+        return 0
+    if args.backends_command == "show":
+        from repro.backends import backend_for
+
+        arch = get_arch(args.arch)
+        fpu = ("DP" if arch.fpu.double
+               else ("SP" if arch.fpu.single else "soft-float"))
+        print(f"{arch.name}: {arch.core} ({arch.isa}) on {arch.board}")
+        print(f"  backend: {backend_for(arch).name}")
+        print(f"  clock: {arch.clock_mhz:.0f} MHz  pipeline: "
+              f"{arch.pipeline_stages} stages  fpu: {fpu}")
+        print(f"  caches: {arch.cache.icache_bytes // 1024} KB I / "
+              f"{arch.cache.dcache_bytes // 1024} KB D")
+        print(f"  memory: {arch.memory.flash_bytes // 1024} KB flash "
+              f"(+{arch.memory.flash_wait_cycles:g} waits), "
+              f"{arch.memory.sram_bytes // 1024} KB SRAM "
+              f"(+{arch.memory.sram_wait_cycles:g} waits)")
+        print(f"  power: {arch.power.active_mw:g} mW active, "
+              f"{arch.power.idle_mw:g} mW idle, "
+              f"{arch.process_node_nm} nm node")
+        return 0
+    raise ValueError(f"unknown backends command {args.backends_command!r}")
 
 
 def _cmd_run(args) -> int:
@@ -146,7 +181,7 @@ def _cmd_sweep(args) -> int:
 
     kernels = (args.kernels.split(",") if args.kernels else registry.suite())
     archs = ([get_arch(a) for a in args.archs.split(",")]
-             if args.archs else list(CHARACTERIZATION_ARCHS))
+             if args.archs else list(characterization_archs()))
     spec = SweepSpec(
         kernels=kernels,
         archs=archs,
@@ -442,7 +477,8 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernels", default=None,
                    help="comma-separated (default: full suite)")
     p.add_argument("--archs", default=None,
-                   help="comma-separated (default: m4,m33,m7)")
+                   help="comma-separated (default: every backend's "
+                        "characterization set)")
     p.add_argument("--reps", type=int, default=1)
     p.add_argument("--warmup", type=int, default=0)
     p.add_argument("--out", default=None, help=".json or .csv path")
@@ -467,7 +503,7 @@ def _add_mission_args(p: argparse.ArgumentParser) -> None:
     # Choices come from the mission registry — the one source of truth —
     # so missions registered by studies appear here automatically.
     p.add_argument("mission", choices=mission_names())
-    p.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+    p.add_argument("--arch", default="m33", choices=sorted(arch_names()))
     _add_obs_args(p)
 
 
@@ -532,7 +568,7 @@ def _add_query_args(p: argparse.ArgumentParser) -> None:
                    help="what to ask the service")
     p.add_argument("--kernel", default=None,
                    help="kernel to characterize")
-    p.add_argument("--arch", default="m33", choices=sorted(ARCHS))
+    p.add_argument("--arch", default="m33", choices=sorted(arch_names()))
     p.add_argument("--cache", default="C", choices=("C", "NC"),
                    help="cache state for characterize cells")
     p.add_argument("--mission", default="hover",
@@ -634,9 +670,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the registered kernel suite")
 
+    backends = sub.add_parser(
+        "backends", help="inspect the ISA backend registry"
+    )
+    backends_sub = backends.add_subparsers(
+        dest="backends_command", required=True
+    )
+    backends_sub.add_parser(
+        "list", help="list registered backends and their archs"
+    )
+    show = backends_sub.add_parser(
+        "show", help="show one architecture's full spec"
+    )
+    show.add_argument("arch", choices=sorted(arch_names()))
+
     run = sub.add_parser("run", help="benchmark one kernel on one core")
     run.add_argument("kernel")
-    run.add_argument("--arch", default="m4", choices=sorted(ARCHS))
+    run.add_argument("--arch", default="m4", choices=sorted(arch_names()))
     run.add_argument("--scalar", default=None,
                      help="f32 / f64 / qM.N (default: f32)")
     run.add_argument("--reps", type=int, default=3)
@@ -704,6 +754,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "backends": _cmd_backends,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "tables": _cmd_tables,

@@ -24,8 +24,21 @@ from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.core.harness import Harness
 from repro.core.results import BenchmarkResult
-from repro.mcu.arch import CHARACTERIZATION_ARCHS, ArchSpec
+from repro.mcu.arch import ArchSpec
 from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+
+
+def _default_archs() -> List[ArchSpec]:
+    """Registry-derived default core set for sweeps and characterization.
+
+    Every backend's characterization cores, so a newly registered ISA
+    appears in ``characterize`` without edits here (the paper tables pin
+    themselves to ``characterization_archs(isa="cortex-m")`` instead).
+    """
+    # Deferred: repro.backends sits above the measurement layer's types.
+    from repro.backends import characterization_archs
+
+    return list(characterization_archs())
 
 
 class ResultKeyError(KeyError):
@@ -54,7 +67,7 @@ class SweepSpec:
     """What to sweep: kernels, cores, cache states, and factory overrides."""
 
     kernels: List[str]
-    archs: List[ArchSpec] = field(default_factory=lambda: list(CHARACTERIZATION_ARCHS))
+    archs: List[ArchSpec] = field(default_factory=_default_archs)
     caches: Tuple[CacheConfig, ...] = (CACHE_ON, CACHE_OFF)
     #: Each spec owns its config (default_factory, not a shared module
     #: instance) so per-spec adjustments can never alias across sweeps.
@@ -231,7 +244,7 @@ def characterize_suite(
 
     spec = SweepSpec(
         kernels=list(kernels) if kernels is not None else registry.suite(),
-        archs=archs if archs is not None else list(CHARACTERIZATION_ARCHS),
+        archs=archs if archs is not None else _default_archs(),
         config=config if config is not None else HarnessConfig(),
     )
     return run_sweep(

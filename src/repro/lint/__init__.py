@@ -45,6 +45,7 @@ from repro.lint.rules import (
 )
 
 # Importing the checker modules registers every rule.
+import repro.lint.archconstants  # noqa: F401,E402
 import repro.lint.checkers  # noqa: F401,E402
 import repro.lint.facade  # noqa: F401,E402
 

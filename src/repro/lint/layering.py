@@ -57,6 +57,7 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
     "core": ("core",),
     "instrumentation": ("instrumentation",),
     "kernels": KERNEL_PACKAGES,
+    "backends": ("backends",),
     "mcu": ("mcu",),
     "data": DATA_MODULES,
 }
@@ -65,21 +66,23 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
 #: This is the checked rule table; architecture.md renders it.
 ALLOWED: Dict[str, FrozenSet[str]] = {
     "cli": frozenset({
-        "analysis", "api", "closedloop", "core", "data", "engine",
-        "faults", "lint", "mcu", "obs", "scenarios", "service",
+        "analysis", "api", "backends", "closedloop", "core", "data",
+        "engine", "faults", "lint", "mcu", "obs", "scenarios", "service",
     }),
     "api": frozenset({
-        "closedloop", "core", "engine", "faults", "scenarios", "service",
+        "backends", "closedloop", "core", "engine", "faults", "scenarios",
+        "service",
     }),
     "service": frozenset({
-        "closedloop", "core", "engine", "faults", "mcu", "obs",
+        "backends", "closedloop", "core", "engine", "faults", "mcu", "obs",
     }),
     "analysis": frozenset({
         "api", "core", "data", "kernels", "mcu",
     }),
     "lint": frozenset(),
     "scenarios": frozenset({
-        "closedloop", "core", "data", "engine", "faults", "mcu", "obs",
+        "backends", "closedloop", "core", "data", "engine", "faults",
+        "mcu", "obs",
     }),
     "faults": frozenset({
         "closedloop", "core", "data", "engine", "instrumentation",
@@ -90,6 +93,7 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
     "core": frozenset({"data", "instrumentation", "mcu"}),
     "instrumentation": frozenset({"data", "mcu"}),
     "kernels": frozenset({"core", "data", "mcu"}),
+    "backends": frozenset({"data", "mcu"}),
     "mcu": frozenset({"data"}),
     "obs": frozenset(),
     "data": frozenset(),
@@ -105,6 +109,14 @@ DEFERRED_ALLOWED: Dict[Tuple[str, str], str] = {
     ("core", "kernels"): (
         "registry population seam: kernel suites self-register on first "
         "registry use"
+    ),
+    ("core", "backends"): (
+        "default-arch seam: sweep specs resolve the registry's "
+        "characterization set at construction time"
+    ),
+    ("mcu", "backends"): (
+        "pricing seam: backends defines cores in terms of repro.mcu spec "
+        "types, so the pricing models reach the registry at call time only"
     ),
 }
 

@@ -1,19 +1,13 @@
-"""Cortex-M architecture descriptors.
+"""Architecture descriptor types and registry-backed lookups.
 
-Four cores are modeled, matching the boards the paper measures on:
-
-* ``m0plus`` — a generic STM32 Cortex-M0+ part (Case Study 2 only): 2-stage
-  pipeline, no FPU, no caches, low clock, very low power.
-* ``m4`` — NUCLEO-STM32G474RE: 3-stage ARMv7E-M, SP FPU, 170 MHz, 128 KB
-  SRAM.  Its "cache" is ST's small ART flash accelerator, which barely
-  changes timing — the paper observes near-identical cache on/off numbers.
-* ``m33`` — NUCLEO-STM32U575ZIQ: 3-stage ARMv8-M Mainline, SP FPU, 160 MHz,
-  8 KB I/D caches, modern low-power process node → by far the most energy
-  efficient core in the study.
-* ``m7`` — NUCLEO-STM32H7A3ZIQ: 6-stage superscalar ARMv7E-M with branch
-  prediction, DP FPU, 280 MHz, 16 KB I/D caches.  Heavily cache dependent:
-  the vendor linker script places the stack in AXI SRAM, so uncached runs
-  pay large wait-state penalties.
+This module defines the *shape* of a core model — :class:`ArchSpec` and
+its component specs — while the concrete cores and every cost table live
+in :mod:`repro.backends` (the Cortex-M fleet in
+:mod:`repro.backends.cortex_m`, the RV32 family in
+:mod:`repro.backends.riscv`).  :func:`get_arch` and the legacy names
+(``M4``, ``ARCHS``, ``CHARACTERIZATION_ARCHS``) resolve through the
+backend registry, so code written against this module keeps working while
+new ISA families appear without touching it.
 
 All quantitative parameters are calibrated so the *relationships* the paper
 reports (who wins, by what factor, where caches matter) are reproduced; they
@@ -22,6 +16,7 @@ are not datasheet transcriptions.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -85,7 +80,7 @@ class PowerSpec:
 
 @dataclass(frozen=True)
 class ArchSpec:
-    """A complete Cortex-M core + board model."""
+    """A complete MCU core + board model (any registered ISA family)."""
 
     name: str
     core: str
@@ -156,108 +151,52 @@ class ArchSpec:
         return self.name
 
 
-M0PLUS = ArchSpec(
-    name="m0plus",
-    core="Cortex-M0+",
-    board="generic STM32 M0+",
-    isa="ARMv6-M",
-    pipeline_stages=2,
-    clock_hz=32e6,
-    superscalar_ipc=1.0,
-    branch_predictor=False,
-    fpu=FpuSpec(single=False, double=False),
-    cache=CacheSpec(icache_bytes=0, dcache_bytes=0),
-    memory=MemorySpec(
-        flash_bytes=128 * 1024,
-        sram_bytes=36 * 1024,
-        flash_wait_cycles=1.0,
-        sram_wait_cycles=0.0,
-    ),
-    power=PowerSpec(active_mw=13.0, cache_bonus_mw=0.0, activity_span_mw=3.0, idle_mw=1.0),
-    process_node_nm=90,
-    has_hw_divide=False,
-    has_dsp_simd=False,
-)
-
-M4 = ArchSpec(
-    name="m4",
-    core="Cortex-M4",
-    board="NUCLEO-STM32G474RE",
-    isa="ARMv7E-M",
-    pipeline_stages=3,
-    clock_hz=170e6,
-    superscalar_ipc=1.0,
-    branch_predictor=False,
-    fpu=FpuSpec(single=True, double=False),
-    cache=CacheSpec(icache_bytes=1024, dcache_bytes=0),  # ART flash accelerator
-    memory=MemorySpec(
-        flash_bytes=512 * 1024,
-        sram_bytes=128 * 1024,
-        flash_wait_cycles=4.0,
-        sram_wait_cycles=0.0,
-    ),
-    power=PowerSpec(active_mw=104.0, cache_bonus_mw=3.0, activity_span_mw=55.0, idle_mw=12.0),
-    process_node_nm=90,
-    has_hw_divide=True,
-    has_dsp_simd=True,
-)
-
-M33 = ArchSpec(
-    name="m33",
-    core="Cortex-M33",
-    board="NUCLEO-STM32U575ZIQ",
-    isa="ARMv8-M Mainline",
-    pipeline_stages=3,
-    clock_hz=160e6,
-    superscalar_ipc=1.0,
-    branch_predictor=False,
-    fpu=FpuSpec(single=True, double=False),
-    cache=CacheSpec(icache_bytes=8 * 1024, dcache_bytes=8 * 1024),
-    memory=MemorySpec(
-        flash_bytes=2 * 1024 * 1024,
-        sram_bytes=786 * 1024,
-        flash_wait_cycles=4.0,
-        sram_wait_cycles=1.0,
-    ),
-    power=PowerSpec(active_mw=29.0, cache_bonus_mw=2.0, activity_span_mw=12.0, idle_mw=3.0),
-    process_node_nm=40,
-    has_hw_divide=True,
-    has_dsp_simd=True,
-)
-
-M7 = ArchSpec(
-    name="m7",
-    core="Cortex-M7",
-    board="NUCLEO-STM32H7A3ZIQ",
-    isa="ARMv7E-M",
-    pipeline_stages=6,
-    clock_hz=280e6,
-    superscalar_ipc=1.45,
-    branch_predictor=True,
-    fpu=FpuSpec(single=True, double=True),
-    cache=CacheSpec(icache_bytes=16 * 1024, dcache_bytes=16 * 1024),
-    memory=MemorySpec(
-        flash_bytes=2 * 1024 * 1024,
-        sram_bytes=1408 * 1024,
-        flash_wait_cycles=6.0,
-        sram_wait_cycles=3.0,  # AXI SRAM stack placement
-    ),
-    power=PowerSpec(active_mw=118.0, cache_bonus_mw=38.0, activity_span_mw=60.0, idle_mw=18.0),
-    process_node_nm=40,
-    has_hw_divide=True,
-    has_dsp_simd=True,
-)
-
-ARCHS = {a.name: a for a in (M0PLUS, M4, M33, M7)}
-# The three cores characterized in the paper's Section V tables.
-CHARACTERIZATION_ARCHS = (M4, M33, M7)
-
-
 def get_arch(name: str) -> ArchSpec:
-    """Look up an architecture by short name (``m0plus``/``m4``/``m33``/``m7``)."""
-    try:
-        return ARCHS[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown architecture {name!r}; available: {sorted(ARCHS)}"
-        ) from None
+    """Look up an architecture by short name (``m4``, ``rv32imafc``, ...).
+
+    Delegates to the :mod:`repro.backends` registry; raises
+    :class:`~repro.backends.ArchKeyError` (a ``KeyError`` subclass with a
+    nearest-match suggestion) for unknown names.
+    """
+    # Deferred: backends defines the concrete cores in terms of the spec
+    # classes above, so this module must stay importable without it.
+    from repro.backends import get_arch as _registry_get_arch
+
+    return _registry_get_arch(name)
+
+
+#: Legacy names resolved through the backend registry on first access.
+#: ``ARCHS`` is deprecated (use ``repro.backends.arch_names``/``get_arch``);
+#: the core constants and ``CHARACTERIZATION_ARCHS`` remain supported.
+_REGISTRY_CORES = ("M0PLUS", "M4", "M33", "M7")
+_warned_deprecated = set()
+
+
+def __getattr__(name: str):
+    if name in _REGISTRY_CORES:
+        from repro.backends import cortex_m
+
+        return getattr(cortex_m, name)
+    if name == "ARCHS":
+        if name not in _warned_deprecated:
+            _warned_deprecated.add(name)
+            warnings.warn(
+                "repro.mcu.arch.ARCHS is deprecated; use "
+                "repro.backends.arch_names() / get_arch() — the registry "
+                "includes non-Cortex-M backends this dict predates",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        from repro.backends import all_archs
+
+        return {a.name: a for a in all_archs()}
+    if name == "CHARACTERIZATION_ARCHS":
+        # The three cores characterized in the paper's Section V tables.
+        from repro.backends import characterization_archs
+
+        return characterization_archs(isa="cortex-m")
+    if name == "ArchKeyError":
+        from repro.backends import ArchKeyError
+
+        return ArchKeyError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

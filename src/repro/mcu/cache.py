@@ -55,39 +55,34 @@ def _footprint_hit_rate(footprint_bytes: int, cache_bytes: int, floor: float) ->
 
 
 class CacheModel:
-    """Stall-cycle estimator for one core and cache enable state."""
+    """Stall-cycle estimator for one core and cache enable state.
+
+    Hit-rate policy (and family quirks like the M4's ART accelerator) and
+    the fetch-word fraction live on the core's ISA backend; this class
+    owns only the stall arithmetic over those rates.
+    """
 
     def __init__(self, arch: ArchSpec, config: CacheConfig):
+        # Deferred: backends defines cores in terms of repro.mcu types.
+        from repro.backends import backend_for
+
         self.arch = arch
         self.config = config
-
-    # Fraction of dynamic instructions that require a new fetch word: Thumb
-    # packs ~2 instructions per 32-bit fetch, and prefetch buffers hide a
-    # further share even without caches.
-    _FETCH_FRACTION = 0.35
+        self._backend = backend_for(arch)
 
     def ifetch_hit_rate(self, code_bytes: int) -> float:
-        cache = self.arch.cache
-        if not cache.has_icache:
-            return 0.0
-        if not self.config.enabled:
-            # The M4's ART accelerator is modeled as a tiny always-on
-            # prefetcher: "disabling" it still leaves sequential prefetch.
-            return 0.55 if cache.icache_bytes <= 1024 else 0.0
-        if cache.icache_bytes <= 1024:
-            # Flash accelerator: high hit rate for loopy code.
-            return 0.92
-        return _footprint_hit_rate(code_bytes, cache.icache_bytes, floor=0.55)
+        return self._backend.ifetch_hit_rate(
+            self.arch, self.config.enabled, code_bytes
+        )
 
     def dmem_hit_rate(self, data_bytes: int) -> float:
-        cache = self.arch.cache
-        if not cache.has_dcache or not self.config.enabled:
-            return 0.0
-        return _footprint_hit_rate(data_bytes, cache.dcache_bytes, floor=0.45)
+        return self._backend.dmem_hit_rate(
+            self.arch, self.config.enabled, data_bytes
+        )
 
     def ifetch_stalls(self, n_instr: int, code_bytes: int) -> float:
         hit = self.ifetch_hit_rate(code_bytes)
-        misses = n_instr * self._FETCH_FRACTION * (1.0 - hit)
+        misses = n_instr * self._backend.fetch_fraction(self.arch) * (1.0 - hit)
         return misses * self.arch.memory.flash_wait_cycles
 
     def dmem_stalls(self, n_mem_ops: int, data_bytes: int) -> float:

@@ -1,4 +1,4 @@
-"""Op-trace → cycle-count model for Cortex-M cores.
+"""Op-trace → cycle-count model, generic over ISA backends.
 
 The model prices each dynamic operation with a per-architecture CPI table,
 then adds instruction-fetch and data-memory stall cycles from the cache
@@ -6,6 +6,11 @@ model.  Precision matters: cores without the matching hardware FPU fall
 back to software emulation costs (the M0+ soft-float cliff of Case Study 2,
 the double-precision penalty of Case Study 4), and fixed-point arithmetic
 pays the multiply-then-shift-back tax the paper notes for M4/M33.
+
+Every cost constant lives in the core's :class:`~repro.backends.ArchBackend`
+(``repro.backends.cortex_m`` for the paper's boards,
+``repro.backends.riscv`` for the RV32 family); this module only owns the
+arithmetic that combines them, so adding an ISA never touches it.
 """
 
 from __future__ import annotations
@@ -16,29 +21,6 @@ from repro.scalar import ScalarType
 from repro.mcu.arch import ArchSpec
 from repro.mcu.cache import CacheModel, CacheConfig
 from repro.mcu.ops import OpTrace
-
-# Software-emulated float costs (cycles per op) for cores lacking the
-# relevant FPU.  These match the rough magnitudes of GCC's soft-float
-# routines on ARMv6-M / ARMv7-M.
-_SOFT_F32 = {"fadd": 48, "fmul": 40, "fdiv": 130, "fsqrt": 220, "ffma": 90,
-             "fcmp": 20, "fcvt": 25, "ffunc": 420}
-_SOFT_F64 = {"fadd": 28, "fmul": 34, "fdiv": 110, "fsqrt": 200, "ffma": 64,
-             "fcmp": 14, "fcvt": 16, "ffunc": 320}
-# Hardware single-precision FPU costs (M4/M33/M7 class).
-_HW_F32 = {"fadd": 1, "fmul": 1, "fdiv": 14, "fsqrt": 14, "ffma": 3,
-           "fcmp": 1, "fcvt": 1, "ffunc": 55}
-# Hardware double-precision FPU costs (M7 only).
-_HW_F64 = {"fadd": 1, "fmul": 2, "fdiv": 27, "fsqrt": 27, "ffma": 5,
-           "fcmp": 1, "fcvt": 1, "ffunc": 80}
-# Fixed-point costs on cores with a 32x32->64 multiplier: a multiply is
-# SMULL + shift + saturate checks, a divide needs a pre-shift and hardware
-# (or software) division.  The "ffunc" entry prices the iterative
-# integer routines (sqrt via Newton, trig via CORDIC/polynomials).
-_FIXED_FAST = {"fadd": 1, "fmul": 4, "fdiv": 20, "fsqrt": 90, "ffma": 5,
-               "fcmp": 1, "fcvt": 2, "ffunc": 160}
-# Fixed point on the M0+ (32x32->32 only; wide multiply is synthesized).
-_FIXED_M0 = {"fadd": 1, "fmul": 16, "fdiv": 70, "fsqrt": 160, "ffma": 18,
-             "fcmp": 1, "fcvt": 2, "ffunc": 260}
 
 
 @dataclass(frozen=True)
@@ -56,19 +38,11 @@ class CycleBreakdown:
 
 def _float_cpi(arch: ArchSpec, scalar: ScalarType) -> dict:
     """Pick the float-op cost table for this core and scalar type."""
-    if scalar.is_fixed:
-        return _FIXED_FAST if arch.has_hw_divide else _FIXED_M0
-    if scalar.kind == "f32":
-        return _HW_F32 if arch.fpu.single else _SOFT_F32
-    # f64
-    if arch.fpu.double:
-        return _HW_F64
-    base = _SOFT_F64 if not arch.fpu.single else {
-        # SP FPU present but doubles still go through software, partially
-        # accelerated by single-precision hardware in the helper routines.
-        k: max(1, int(v * 0.8)) for k, v in _SOFT_F64.items()
-    }
-    return base
+    # Deferred: repro.backends defines cores in terms of repro.mcu types,
+    # so the pricing modules reach the registry at call time only.
+    from repro.backends import backend_for
+
+    return backend_for(arch).float_cpi(arch, scalar)
 
 
 class PipelineModel:
@@ -79,8 +53,11 @@ class PipelineModel:
 
     def compute_cycles(self, trace: OpTrace, scalar: ScalarType) -> float:
         """Core execution cycles, before memory-system stalls."""
+        from repro.backends import backend_for
+
         a = self.arch
-        f = _float_cpi(a, scalar)
+        backend = backend_for(a)
+        f = backend.float_cpi(a, scalar)
         cycles = 0.0
         cycles += trace.fadd * f["fadd"]
         cycles += trace.fmul * f["fmul"]
@@ -91,22 +68,19 @@ class PipelineModel:
         cycles += trace.fcvt * f["fcvt"]
         cycles += trace.ffunc * f["ffunc"]
 
-        idiv_cost = 6 if a.has_hw_divide else 45
+        c = backend.int_costs(a)
         int_cycles = (
-            trace.ialu * 1.0
-            + trace.imul * 1.0
-            + trace.idiv * idiv_cost
-            + trace.icmp * 1.0
-            + trace.simd * 1.0
+            trace.ialu * c.ialu
+            + trace.imul * c.imul
+            + trace.idiv * c.idiv
+            + trace.icmp * c.icmp
+            + trace.simd * c.simd
         )
-        mem_cycles = trace.load * 2.0 + trace.store * 1.0
+        mem_cycles = trace.load * c.load + trace.store * c.store
 
-        if a.branch_predictor:
-            taken_cost, refill = 1.2, 1.0
-        else:
-            taken_cost, refill = float(a.pipeline_stages - 1), 1.0
+        b = backend.branch_costs(a)
         branch_cycles = (
-            trace.br_taken * taken_cost + trace.br_not * refill + trace.call * 4.0
+            trace.br_taken * b.taken + trace.br_not * b.refill + trace.call * c.call
         )
 
         # Dual-issue cores overlap independent int/mem/branch work.

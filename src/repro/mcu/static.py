@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable
 
 from repro.mcu.arch import ArchSpec
 
@@ -144,35 +144,31 @@ def _jitter(kernel_name: str, arch_name: str, field: str, spread: float) -> floa
     return 1.0 + spread * (2.0 * unit - 1.0)
 
 
-# Per-arch systematic factors applied on top of the base (M4) mix.
-_ARCH_FACTORS: Dict[str, Tuple[float, float, float, float]] = {
-    # (F, I, M, B) multipliers
-    "m0plus": (0.0, 1.35, 1.20, 1.25),  # soft-float: F ops become I/M/B code
-    "m4": (1.0, 1.0, 1.0, 1.0),
-    "m33": (1.01, 0.99, 1.01, 0.99),
-    "m7": (0.94, 0.93, 0.97, 0.82),  # better scheduling & predication
-}
-
-
 def static_profile(kernel_name: str, base: StaticMix, arch: ArchSpec) -> StaticMix:
     """Per-core static profile for a kernel with the given base (M4) mix.
 
     Keyed on the *base* core name: a fault-derated arch variant runs the
     same compiled binary as the core it derives from, so its static mix
-    (and jitter) must be identical.
+    (and jitter) must be identical.  The per-core (F, I, M, B) factors and
+    soft-float expansion rules belong to the core's ISA backend.
     """
+    # Deferred: backends defines cores in terms of repro.mcu types.
+    from repro.backends import backend_for
+
     core = arch.base_name
-    ff, fi, fm, fb = _ARCH_FACTORS[core]
+    backend = backend_for(arch)
+    ff, fi, fm, fb = backend.static_factors(core)
     spread = 0.04
     f = int(base.f * ff * _jitter(kernel_name, core, "F", spread))
     i = int(base.i * fi * _jitter(kernel_name, core, "I", spread))
     m = int(base.m * fm * _jitter(kernel_name, core, "M", spread))
     b = int(base.b * fb * _jitter(kernel_name, core, "B", spread))
-    if core == "m0plus":
+    expansion = backend.softfloat_static_expansion(core)
+    if expansion is not None:
         # Soft-float libraries add float code expressed as int/mem/branch.
-        i += int(base.f * 2.2)
-        m += int(base.f * 0.8)
-        b += int(base.f * 0.6)
+        i += int(base.f * expansion.i_per_f)
+        m += int(base.f * expansion.m_per_f)
+        b += int(base.f * expansion.b_per_f)
     # Flash differences between cores are "very minor, if any" (paper note).
     flash = int(base.flash_bytes * _jitter(kernel_name, core, "flash", 0.005))
     return StaticMix(flash, f, i, m, b)

@@ -1,0 +1,185 @@
+"""Quantized TinyML workload pack: int8/int16 proximity-net variants.
+
+Deployed TinyML models do not run in float — they ship post-training
+quantized, with integer MACs and a fixed-point requantization step at
+every layer boundary.  This module packages that deployment path as
+first-class suite problems (``proximity-net-int8``,
+``proximity-net-int16``) so sweeps and Tier B scenario campaigns can
+price quantized inference against the float kernel across ISA backends:
+on a soft-float core (M0+, RV32IMC) the integer path is the difference
+between flying and not.
+
+The requantization multiplier is routed through
+:mod:`repro.fixedpoint.qformat` exactly as CMSIS-NN stores it: the real
+activation scale is snapped to the problem's Q format before use, so the
+arithmetic (and any overflow events) depend on the chosen ``qM.N``
+container, not on ideal real numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.registry import register
+from repro.fixedpoint.qformat import Fixed, FixedPointContext, QFormat
+from repro.mcu.memory import Footprint
+from repro.mcu.ops import OpCounter
+from repro.nn.layers import Network
+from repro.nn.suite import ProximityNetProblem
+from repro.scalar import ScalarType, q
+
+#: Default scalar containers: one sign bit + 7.24 covers int8 activation
+#: ranges with headroom; 15.16 matches the int16 path's wider dynamic range.
+Q7_24 = q(7, 24)
+Q15_16 = q(15, 16)
+
+
+class AffineQuant:
+    """Per-tensor affine quantization with a fixed-point scale word.
+
+    Generalizes :class:`repro.nn.layers.QuantParams` to any integer width
+    and stores the scale the way an MCU kernel does — as a Q-format raw
+    word — so dequantized values are a function of the container format.
+    """
+
+    def __init__(self, lo: float, hi: float, bits: int,
+                 fmt: QFormat, ctx: FixedPointContext):
+        self.qmax = (1 << (bits - 1)) - 1
+        self.qmin = -(1 << (bits - 1))
+        lo, hi = min(lo, 0.0), max(hi, 0.0)
+        scale = max(hi - lo, 1e-8) / (self.qmax - self.qmin)
+        # Snap the multiplier into the Q container (CMSIS-NN requantize).
+        snapped = Fixed.from_float(scale, fmt, ctx).to_float()
+        self.scale = snapped if snapped > 0.0 else fmt.resolution
+        zero = int(round(-lo / self.scale)) + self.qmin
+        self.zero_point = int(np.clip(zero, self.qmin, self.qmax))
+
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """Quantize-then-dequantize: the deployed activation precision."""
+        qv = np.clip(np.round(x / self.scale) + self.zero_point,
+                     self.qmin, self.qmax)
+        return (qv - self.zero_point) * self.scale
+
+
+def quantized_forward(counter: OpCounter, net: Network, x: np.ndarray,
+                      bits: int, fmt: QFormat,
+                      ctx: FixedPointContext) -> np.ndarray:
+    """Post-training-quantized inference at ``bits``-wide activations.
+
+    A silent calibration pass collects per-layer ranges (host side, not
+    counted), then the counted pass requantizes every activation tensor
+    through :class:`AffineQuant`.  The requantize cost (round, clamp,
+    offset) is priced as integer ops; the MAC pricing itself follows the
+    caller's scalar type, so a fixed-point scalar prices the whole pass
+    as the integer pipeline it deploys as.
+    """
+    silent = OpCounter()
+    out = np.asarray(x, dtype=np.float64)
+    params = []
+    for layer in net.layers:
+        out = layer.forward(silent, out)
+        params.append(AffineQuant(float(out.min()), float(out.max()),
+                                  bits, fmt, ctx))
+
+    out = np.asarray(x, dtype=np.float64)
+    in_q = AffineQuant(float(out.min()), float(out.max()), bits, fmt, ctx)
+    out = in_q.roundtrip(out)
+    counter.ialu(out.size * 2)
+    for layer, qp in zip(net.layers, params):
+        out = layer.forward(counter, out)
+        out = qp.roundtrip(out)
+        counter.ialu(out.size * 3)
+        counter.icmp(out.size * 2)
+    return out
+
+
+class QuantizedProximityNetProblem(ProximityNetProblem):
+    """Proximity inference on the deployed, quantized execution path."""
+
+    bits = 8
+    default_scalar: ScalarType = Q7_24
+
+    def __init__(self, scalar: ScalarType = None, seed: int = 0,
+                 n_frames: int = 4):
+        super().__init__(
+            scalar if scalar is not None else self.default_scalar,
+            seed, n_frames,
+        )
+        self.fixed_ctx = FixedPointContext()
+
+    def _qformat(self) -> QFormat:
+        if self.scalar.is_fixed:
+            return QFormat(self.scalar.q_int, self.scalar.q_frac)
+        return QFormat(self.default_scalar.q_int, self.default_scalar.q_frac)
+
+    def solve(self, counter: OpCounter):
+        fmt = self._qformat()
+        scores = []
+        for frame in self.frames:
+            x = frame.astype(np.float64)[None, :, :] / 255.0
+            counter.vec_scale(x.size)
+            out = quantized_forward(counter, self.net, x, self.bits,
+                                    fmt, self.fixed_ctx)
+            scores.append(float(out[0]))
+        near = [s for s, label in zip(scores, self.labels) if label]
+        far = [s for s, label in zip(scores, self.labels) if not label]
+        self.last_margin = (min(near) - max(far)) if near and far else None
+        return scores
+
+    def validate(self, result) -> bool:
+        # Quantization must not flip the ranking, and the Q container must
+        # hold every requantize multiplier without saturating.
+        return (
+            self.last_margin is not None
+            and self.last_margin > 0.0
+            and not self.fixed_ctx.failed
+        )
+
+    def footprint(self) -> Footprint:
+        bytes_per = self.bits // 8
+        base = super().footprint()
+        # Int8 weights regardless of activation width (CMSIS-NN packs
+        # weights at 8 bits even on the int16 activation path).
+        act = self._activation_bytes() * bytes_per
+        return Footprint(
+            flash_bytes=base.flash_bytes,
+            data_bytes=self.net_params_bytes() + act,
+        )
+
+    def _activation_bytes(self) -> int:
+        net = self.net if hasattr(self, "net") else None
+        if net is None:
+            from repro.nn.depthnet import build_proximity_net
+
+            net = build_proximity_net()
+        from repro.nn.depthnet import INPUT_SHAPE
+
+        shapes: Tuple[Tuple[int, ...], ...] = (INPUT_SHAPE,)
+        for layer in net.layers:
+            shapes = shapes + (layer.output_shape(shapes[-1]),)
+        sizes = sorted((int(np.prod(s)) for s in shapes), reverse=True)
+        return sum(sizes[:2])
+
+
+class ProximityNetInt8Problem(QuantizedProximityNetProblem):
+    """``proximity-net`` on the int8 CMSIS-NN deployment path."""
+
+    name = "proximity-net-int8"
+    category = "CNN Int8"
+    bits = 8
+    default_scalar = Q7_24
+
+
+class ProximityNetInt16Problem(QuantizedProximityNetProblem):
+    """``proximity-net`` with int16 activations (accuracy-critical path)."""
+
+    name = "proximity-net-int16"
+    category = "CNN Int16"
+    bits = 16
+    default_scalar = Q15_16
+
+
+register("proximity-net-int8")(ProximityNetInt8Problem)
+register("proximity-net-int16")(ProximityNetInt16Problem)

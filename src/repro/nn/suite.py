@@ -87,3 +87,6 @@ class ProximityNetProblem(EntoProblem):
 
 
 register("proximity-net")(ProximityNetProblem)
+
+# The quantized deployment-path variants register themselves on import.
+from repro.nn import quantized  # noqa: E402,F401

@@ -112,6 +112,7 @@ def _mission_worker(payload: tuple) -> dict:
     (scenario, tier, agent, profile, arch_name, scalar_name,
      fault_name, severity, seed) = payload
     import repro.faults  # noqa: F401 — populate the fault registry
+    from repro.backends import backend_for
     from repro.closedloop.runner import RUNNER_CLASSES
     from repro.faults import get_fault
     from repro.mcu.arch import get_arch
@@ -141,6 +142,7 @@ def _mission_worker(payload: tuple) -> dict:
         "agent": agent,
         "kind": profile["kind"],
         "arch": arch_name,
+        "isa": backend_for(get_arch(arch_name)).name,
         "scalar": scalar_name,
         "fault": fault_name,
         "severity": severity,
@@ -281,12 +283,16 @@ def run_kernel_grid(
     shared_cache = options.make_cache()
     options = replace(options, trace_cache=shared_cache)
 
+    from repro.backends import backend_for
+
     # Coalesce: per scalar, the kernel union across every derated arch.
     label_of: Dict[str, str] = {}
+    isa_of: Dict[str, str] = {}
     by_scalar: Dict[str, dict] = {}
     for scenario in scenarios:
         arch_obj = _derated_arch(scenario)
         label_of[scenario.name] = arch_obj.name
+        isa_of[scenario.name] = backend_for(arch_obj).name
         group = by_scalar.setdefault(
             scenario.scalar, {"kernels": set(), "archs": {}}
         )
@@ -324,6 +330,7 @@ def run_kernel_grid(
                 "kernel": kernel,
                 "arch": scenario.arch,
                 "arch_label": label_of[scenario.name],
+                "isa": isa_of[scenario.name],
                 "scalar": scenario.scalar,
                 "fault": scenario.fault,
                 "severity": scenario.severity,

@@ -23,7 +23,9 @@ from repro.scenarios.spec import ScenarioSet, ScenarioSpec
 
 #: Generator identifier recorded in every set it produces; bump when the
 #: sampling distributions change (addresses change with it).
-GENERATOR_ID = "mixed-profile-v1"
+#: v2: arch pool spans the backend registry's ISA families (Cortex-M and
+#: RV32 cores) and kernel configs sample the quantized TinyML pack.
+GENERATOR_ID = "mixed-profile-v2"
 
 #: Kernels cheap enough to price inside thousand-scenario campaigns
 #: (each solves in well under a second on the host).
@@ -43,11 +45,19 @@ KERNEL_POOL = (
     "lkof",
 )
 
-#: Arch variants Tier B samples over.
-ARCH_POOL = ("m33", "m4", "m7")
+#: Arch variants Tier B samples over — both ISA families of the backend
+#: registry, so campaigns price cross-ISA by construction.
+ARCH_POOL = ("m33", "m4", "m7", "rv32imafc", "rv32imc")
 
 #: Scalar types Tier B mutates kernel configs across.
-SCALAR_POOL = ("f32", "f64", "q7.24")
+SCALAR_POOL = ("f32", "f64", "q7.24", "q15.16")
+
+#: Quantized TinyML kernels mixed into kernel configs (the deployment
+#: path priced against the float pool above).
+QUANT_KERNEL_POOL = ("proximity-net-int8", "proximity-net-int16")
+
+#: Probability a kernel-bearing scenario also prices a quantized kernel.
+_QUANT_PROB = 0.35
 
 #: Fault axis: ``None`` (clean) plus the fault models with mission or
 #: arch seams that terminate quickly at campaign scale.
@@ -192,8 +202,11 @@ class ScenarioGenerator:
             n_kernels = int(rng.integers(0, 3))
         kernels = ()
         if n_kernels:
-            picked = rng.choice(KERNEL_POOL, size=n_kernels, replace=False)
-            kernels = tuple(sorted(str(k) for k in picked))
+            picked = [str(k) for k in
+                      rng.choice(KERNEL_POOL, size=n_kernels, replace=False)]
+            if rng.random() < _QUANT_PROB:
+                picked.append(str(rng.choice(QUANT_KERNEL_POOL)))
+            kernels = tuple(sorted(picked))
         fault = FAULT_POOL[int(rng.integers(0, len(FAULT_POOL)))]
         severity = _round(rng.uniform(0.2, 0.9)) if fault else 0.0
         if mission is None and fault in ("imu-dropout", "overrun-storm"):

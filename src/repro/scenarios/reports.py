@@ -18,7 +18,9 @@ from typing import Dict, List, Optional, Union
 from repro.scenarios.campaign import ScenarioCampaignResult
 
 #: Bumped when the report schema changes.
-REPORT_FORMAT_VERSION = 1
+#: v2: grid records carry an ``isa`` backend family and the Pareto
+#: section adds per-ISA kernel fronts (``pareto.kernel_by_isa``).
+REPORT_FORMAT_VERSION = 2
 
 
 def pareto_front(
@@ -69,6 +71,22 @@ def failure_rates(mission_grid: List[dict]) -> dict:
     }
 
 
+def pareto_by_isa(kernel_grid: List[dict]) -> Dict[str, List[dict]]:
+    """Per-ISA-family energy–latency fronts (the cross-ISA comparison).
+
+    Groups the kernel grid by each record's ``isa`` backend family and
+    computes one front per family, so a report answers "what does the
+    RV32 frontier look like next to the Cortex-M one" directly.
+    """
+    by_isa: Dict[str, List[dict]] = {}
+    for record in kernel_grid:
+        by_isa.setdefault(record.get("isa", "unknown"), []).append(record)
+    return {
+        isa: pareto_front(records, "unit_energy_uj", "unit_latency_us")
+        for isa, records in sorted(by_isa.items())
+    }
+
+
 def build_report(result: ScenarioCampaignResult) -> dict:
     """The full campaign report: grids + Pareto fronts + failure rates."""
     kernel_front = pareto_front(
@@ -94,6 +112,7 @@ def build_report(result: ScenarioCampaignResult) -> dict:
         "mission_grid": result.mission_grid,
         "pareto": {
             "kernel": kernel_front,
+            "kernel_by_isa": pareto_by_isa(result.kernel_grid),
             "mission": mission_front,
         },
         "failure_rates": failure_rates(result.mission_grid),
@@ -138,6 +157,9 @@ def render_report(report: dict) -> str:
     lines.append(f"  energy-latency Pareto front: "
                  f"{len(kernel_front)} kernel points, "
                  f"{len(report['pareto']['mission'])} mission points")
+    by_isa = report["pareto"].get("kernel_by_isa") or {}
+    for isa, front in by_isa.items():
+        lines.append(f"    {isa:<14} front: {len(front)} points")
     for record in kernel_front[:8]:
         lines.append(
             f"    {record['kernel']:<14} {record['scalar']:<6} "

@@ -70,8 +70,8 @@ class ScenarioSpec:
         and malformed mission profiles all fail here, before any
         expansion work starts.
         """
+        from repro.backends import arch_names
         from repro.core import registry
-        from repro.mcu.arch import ARCHS
         from repro.scalar import parse_scalar
         from repro.scenarios.profiles import validate_profile
 
@@ -80,10 +80,10 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown tier {self.tier!r}; "
                 f"available: {TIERS}"
             )
-        if self.arch not in ARCHS:
+        if self.arch not in arch_names():
             raise KeyError(
                 f"scenario {self.name!r}: unknown arch {self.arch!r}; "
-                f"available: {sorted(ARCHS)}"
+                f"available: {sorted(arch_names())}"
             )
         for kernel in self.kernels:
             if not registry.is_registered(kernel):

@@ -32,7 +32,7 @@ from repro.closedloop import MissionSpec
 from repro.core import registry
 from repro.core.config import HarnessConfig
 from repro.faults import FaultCampaignSpec
-from repro.mcu.arch import ARCHS
+from repro.backends import arch_names
 from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
 
 #: Bumped when the payload schema changes: a version bump invalidates
@@ -45,9 +45,9 @@ CACHE_OF_LABEL = {CACHE_ON.label: CACHE_ON, CACHE_OFF.label: CACHE_OFF}
 
 def _check_arch(arch: str) -> None:
     """Raise ``KeyError`` naming the registered cores on a bad arch."""
-    if arch not in ARCHS:
+    if arch not in arch_names():
         raise KeyError(
-            f"unknown arch {arch!r}; available: {sorted(ARCHS)}"
+            f"unknown arch {arch!r}; available: {sorted(arch_names())}"
         )
 
 

@@ -49,7 +49,9 @@ PUBLIC_API = [
     "characterize",
     "fault_names",
     "generate_scenarios",
+    "get_arch",
     "get_fault",
+    "list_backends",
     "mission_names",
     "query",
     "register_mission",

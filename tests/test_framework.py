@@ -135,8 +135,9 @@ class TestRegistry:
 
     def test_suite_size(self):
         # 31 paper kernels + bbof-vec + 2 explicit MARG variants
-        # + the axle-smooth and proximity-net expansion kernels.
-        assert len(registry.names()) == 36
+        # + the axle-smooth and proximity-net expansion kernels
+        # + the quantized int8/int16 proximity-net deployment variants.
+        assert len(registry.names()) == 38
 
     def test_create_unknown_raises(self):
         with pytest.raises(KeyError):

@@ -35,7 +35,7 @@ SRC = REPO / "src" / "repro"
 EXPECTED_RULES = {
     "layering", "no-wall-clock", "no-unseeded-rng", "iteration-order",
     "pool-safety", "mutable-default-args", "docstring-coverage",
-    "pragma-hygiene", "facade-only-imports",
+    "pragma-hygiene", "facade-only-imports", "arch-constants",
 }
 
 
@@ -588,6 +588,74 @@ def test_facade_rule_skips_external_scan_without_repo_anchor(tmp_path):
         "analysis/__init__.py": "",
     }, rules=["facade-only-imports"])
     assert findings == []
+
+
+# ------------------------------------------------------------ arch-constants
+
+
+def test_arch_constants_flags_spec_outside_backends(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "mcu/extra.py": """
+            from repro.mcu.arch import ArchSpec
+
+            M55 = ArchSpec(name="m55")
+        """,
+    }, rules=["arch-constants"])
+    assert rules_hit(findings) == {"arch-constants"}
+    assert "ArchSpec" in findings[0].message
+
+
+def test_arch_constants_flags_cost_table_names(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "engine/tables.py": """
+            _SOFT_F32 = {"fadd": 30}
+            _ARCH_FACTORS = {"m4": (1.0, 1.0, 1.0, 1.0)}
+            FLOAT_CPI = {"fadd": 1}
+        """,
+    }, rules=["arch-constants"])
+    assert len(findings) == 3
+    assert all(f.rule == "arch-constants" for f in findings)
+
+
+def test_arch_constants_allows_backends_package(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "backends/custom.py": """
+            from repro.mcu.arch import ArchSpec
+
+            _SOFT_F32 = {"fadd": 30}
+            XCORE = ArchSpec(name="xcore")
+        """,
+    }, rules=["arch-constants"])
+    assert findings == []
+
+
+def test_arch_constants_allows_function_scope_construction(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "faults/power.py": """
+            from repro.mcu.arch import PowerSpec
+
+            def sagged(spec, factor):
+                return PowerSpec(active_mw=spec.active_mw * factor)
+        """,
+    }, rules=["arch-constants"])
+    assert findings == []
+
+
+def test_arch_constants_ignores_benign_constants(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "core/config.py": """
+            DEFAULT_REPS = 3
+            _HW_REVISIONS = object  # not an assignment call or table dict
+        """,
+    }, rules=["arch-constants"])
+    # _HW_REVISIONS matches the table-name convention on purpose: naming
+    # a constant like a cost table is itself the smell being policed.
+    assert len(findings) == 1
+
+
+def test_arch_constants_clean_on_the_real_tree():
+    result = run_lint(root=SRC, rules=["arch-constants"], use_baseline=False)
+    assert result.findings == []
 
 
 # --------------------------------------------------- docs <-> rules coupling

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.mcu.arch import ARCHS, M0PLUS, M33, M4, M7, get_arch
+from repro.backends import arch_names
+from repro.mcu.arch import M0PLUS, M33, M4, M7, get_arch
 from repro.mcu.cache import CACHE_OFF, CACHE_ON
 from repro.mcu.ops import OpCounter, OpTrace
 from repro.mcu.pipeline import PipelineModel
@@ -23,8 +24,8 @@ class TestArch:
         with pytest.raises(KeyError):
             get_arch("m55")
 
-    def test_four_archs_registered(self):
-        assert set(ARCHS) == {"m0plus", "m4", "m33", "m7"}
+    def test_cortex_archs_registered(self):
+        assert {"m0plus", "m4", "m33", "m7"} <= set(arch_names())
 
     def test_m0plus_has_no_fpu(self):
         assert not M0PLUS.fpu.single and not M0PLUS.fpu.double
