@@ -11,7 +11,9 @@ one module:
   subject to faults; the canonical name for the fault layer's
   ``FaultCampaignSpec``) and :class:`EngineOptions` (how to execute).
 * **Verbs** — :func:`characterize`, :func:`sweep`, :func:`run_mission`,
-  :func:`run_campaign`, and :func:`query` (one-shot service query).
+  :func:`run_campaign`, :func:`price_batch` (re-price solved profiles on
+  any core/cache grid, vectorized by default), and :func:`query`
+  (one-shot service query).
 * **Service types** — :class:`ServiceBroker` and the query dataclasses,
   for callers that hold a broker open across many queries.
 * **Toolkits** — the fault-report helpers (:func:`build_report`,
@@ -109,6 +111,7 @@ __all__ = [
     "generate_scenarios",
     "get_arch",
     "list_backends",
+    "price_batch",
     "query",
     "run_campaign",
     "run_mission",
@@ -213,6 +216,56 @@ def run_campaign(
     from repro.faults import run_campaign as _run_campaign
 
     return _run_campaign(spec, jobs=jobs, options=options, telemetry=telemetry)
+
+
+def price_batch(items, *, vectorize: bool = True) -> list:
+    """Price a batch of (profile, arch, cache) cells in one pass.
+
+    Re-prices already-solved kernel profiles — e.g. the snapshot a
+    warmed :class:`TraceCache` returns from ``profiles()`` — on any
+    (core, cache state) grid without re-running any kernel.  ``items``
+    is a sequence of ``(profile, arch, cache)`` triples where ``arch``
+    is an ``ArchSpec`` or a registry short name (``"m33"``,
+    ``"rv32imfc"``) and ``cache`` is a ``CacheConfig``, a ``"C"`` /
+    ``"NC"`` label, or a bool (cache enabled).  Returns one
+    ``BenchmarkResult`` per item, in item order.
+
+    With ``vectorize=True`` (the default) the whole batch prices
+    through the columnar :mod:`repro.vecprice` path — one set of matrix
+    ops for every cell; ``vectorize=False`` loops the serial per-cell
+    reference instead.  Both produce byte-identical results (the
+    contract ``docs/pricing.md`` documents and ``tests/test_vecprice.py``
+    enforces), so the flag is a performance choice, not a semantic one.
+    """
+    from repro.backends import get_arch as _get_arch
+    from repro.engine import price_profile as _price_profile
+    from repro.mcu.arch import ArchSpec
+    from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+    from repro.vecprice import price_batch as _price_batch
+
+    def _norm_cache(cache) -> CacheConfig:
+        if isinstance(cache, CacheConfig):
+            return cache
+        if isinstance(cache, str):
+            label = cache.upper()
+            if label == CACHE_ON.label:
+                return CACHE_ON
+            if label == CACHE_OFF.label:
+                return CACHE_OFF
+            raise ValueError(f"unknown cache label {cache!r}; use 'C' or 'NC'")
+        return CACHE_ON if cache else CACHE_OFF
+
+    normalized = [
+        (
+            profile,
+            arch if isinstance(arch, ArchSpec) else _get_arch(arch),
+            _norm_cache(cache),
+        )
+        for profile, arch, cache in items
+    ]
+    if vectorize:
+        return _price_batch(normalized)
+    return [_price_profile(p, a, c) for p, a, c in normalized]
 
 
 def list_backends() -> List[dict]:

@@ -16,6 +16,7 @@ ISA.
 from repro.backends.base import (
     ArchBackend,
     ArchKeyError,
+    ArchTables,
     BranchCostTable,
     IntCostTable,
     SoftFloatExpansion,
@@ -38,6 +39,7 @@ from repro.backends import riscv as _riscv  # noqa: F401,E402
 __all__ = [
     "ArchBackend",
     "ArchKeyError",
+    "ArchTables",
     "BranchCostTable",
     "IntCostTable",
     "SoftFloatExpansion",

@@ -23,8 +23,11 @@ import difflib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.mcu.arch import ArchSpec
 from repro.mcu.cache import _footprint_hit_rate
+from repro.mcu.ops import FLOAT_KINDS
 from repro.scalar import ScalarType
 
 
@@ -48,6 +51,41 @@ class BranchCostTable:
 
     taken: float
     refill: float = 1.0
+
+
+@dataclass(frozen=True, eq=False)
+class ArchTables:
+    """One (core, scalar) cost model lowered to dense pricing vectors.
+
+    Produced by :meth:`ArchBackend.tables_as_arrays` and consumed by the
+    columnar batch pricer (:mod:`repro.vecprice`): instead of walking a
+    CPI dict and two cost dataclasses per repetition, the pricer prices a
+    whole op-count matrix against :attr:`cpi` in one vector op.  ``cpi``
+    is ordered exactly as :data:`repro.mcu.ops.ALL_KINDS`; the remaining
+    fields are the per-cell scalars the stall and power formulas need,
+    copied out of the :class:`~repro.mcu.arch.ArchSpec` so a batch never
+    chases attribute chains per row.
+    """
+
+    #: (18,) float64 cycles-per-op vector in ``ALL_KINDS`` order.  The
+    #: three branch slots price ``br_taken`` / ``br_not`` / ``call`` (the
+    #: call cost lives on :class:`IntCostTable`, exactly as
+    #: ``PipelineModel.compute_cycles`` charges it).
+    cpi: np.ndarray
+    #: Dual-issue overlap divisor for int/mem/branch work.
+    overlap: float
+    #: Adverse-operating-point CPI multiplier (1.0 on nominal cores).
+    cpi_scale: float
+    #: Fraction of dynamic instructions needing a new fetch word.
+    fetch_fraction: float
+    flash_wait_cycles: float
+    sram_wait_cycles: float
+    clock_hz: float
+    #: Power-model parameters (milliwatts), from the core's PowerSpec.
+    idle_mw: float
+    active_mw: float
+    activity_span_mw: float
+    cache_bonus_mw: float
 
 
 @dataclass(frozen=True)
@@ -124,6 +162,44 @@ class ArchBackend:
         if arch.branch_predictor:
             return BranchCostTable(taken=1.2, refill=1.0)
         return BranchCostTable(taken=float(arch.pipeline_stages - 1), refill=1.0)
+
+    def tables_as_arrays(self, arch: ArchSpec, scalar: ScalarType) -> ArchTables:
+        """Lower every cost table for (core, scalar) into pricing vectors.
+
+        The generic lowering: gathers :meth:`float_cpi`,
+        :meth:`int_costs`, and :meth:`branch_costs` into one 18-wide CPI
+        vector (``ALL_KINDS`` order) plus the scalar pricing parameters,
+        for the columnar batch pricer in :mod:`repro.vecprice`.  Every
+        value is exactly the one the per-cell serial path would read —
+        the float conversions are identity on floats and exact on the
+        integer CPI entries — which is what makes batched results
+        byte-identical to ``PipelineModel.compute_cycles``.  A backend
+        that overrides the scalar cost methods needs no override here;
+        one that adds bespoke cost channels must extend this lowering in
+        the same change.
+        """
+        f = self.float_cpi(arch, scalar)
+        c = self.int_costs(arch)
+        b = self.branch_costs(arch)
+        cpi = [float(f[k]) for k in FLOAT_KINDS]
+        cpi += [float(c.ialu), float(c.imul), float(c.idiv), float(c.icmp),
+                float(c.simd)]
+        cpi += [float(c.load), float(c.store)]
+        cpi += [float(b.taken), float(b.refill), float(c.call)]
+        p = arch.power
+        return ArchTables(
+            cpi=np.array(cpi, dtype=np.float64),
+            overlap=float(arch.superscalar_ipc),
+            cpi_scale=float(arch.cpi_scale),
+            fetch_fraction=float(self.fetch_fraction(arch)),
+            flash_wait_cycles=float(arch.memory.flash_wait_cycles),
+            sram_wait_cycles=float(arch.memory.sram_wait_cycles),
+            clock_hz=float(arch.clock_hz),
+            idle_mw=float(p.idle_mw),
+            active_mw=float(p.active_mw),
+            activity_span_mw=float(p.activity_span_mw),
+            cache_bonus_mw=float(p.cache_bonus_mw),
+        )
 
     # -- instruction-fetch / cache policy -------------------------------
     def fetch_fraction(self, arch: ArchSpec) -> float:

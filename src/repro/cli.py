@@ -166,6 +166,7 @@ def _engine_options(args):
         use_cache=not getattr(args, "no_cache", False),
         checkpoint=checkpoint,
         resume=resume,
+        vectorize=getattr(args, "price", "vector") != "serial",
     )
 
 
@@ -493,6 +494,10 @@ def _add_sweep_args(p: argparse.ArgumentParser) -> None:
                    help="checkpoint file for kill-resume (JSONL)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the checkpoint's completed cells")
+    p.add_argument("--price", choices=("vector", "serial"), default="vector",
+                   help="price stage: columnar batch (default) or the "
+                        "serial per-cell reference; results are "
+                        "byte-identical either way")
     _add_obs_args(p)
 
 

@@ -7,7 +7,10 @@ that: a planner groups a sweep's cells by solve configuration, a
 content-addressed trace cache persists solved profiles across runs, a
 process-pool executor fans the remaining solves out in parallel with
 checkpoint/resume, and a telemetry layer replaces the bare progress
-string with structured events and a summary report.
+string with structured events and a summary report.  The price stage
+runs through the columnar :mod:`repro.vecprice` batch pricer by default
+(``EngineOptions(vectorize=False)`` restores the serial per-cell
+reference; both produce byte-identical results — ``docs/pricing.md``).
 
 Typical use::
 

@@ -142,6 +142,17 @@ class TraceCache:
             raise
         self.stats.puts += 1
 
+    def profiles(self) -> Dict[str, KernelProfile]:
+        """Snapshot of every profile currently resident in memory.
+
+        Keyed by solve key, in insertion order.  This is the handle
+        batch-pricing callers use to re-price a warmed cache without
+        re-running any sweep: pair each profile with the (arch, cache)
+        cells of interest and hand them to ``repro.api.price_batch``.
+        Disk-only entries (never fetched this process) are not included.
+        """
+        return dict(self._memory)
+
     def __contains__(self, key: str) -> bool:
         if not self.enabled:
             return False

@@ -355,7 +355,7 @@ class MutableDefaultRule(Rule):
 
 #: Packages whose public API must be fully documented (was the scope of
 #: the old standalone ``tests/test_docstrings.py``; lint now dogfoods).
-DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs",
+DOC_PACKAGES: Tuple[str, ...] = ("engine", "faults", "lint", "obs", "vecprice",
                                  "scenarios", "service")
 
 

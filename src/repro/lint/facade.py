@@ -53,6 +53,7 @@ DEEP_PREFIXES: Tuple[str, ...] = (
     "repro.faults",
     "repro.scenarios",
     "repro.service",
+    "repro.vecprice",
 )
 
 #: Layer groups (see :mod:`repro.lint.layering`) held to facade-only

@@ -50,6 +50,7 @@ GROUPS: Dict[str, Tuple[str, ...]] = {
     "analysis": ("analysis",),
     "lint": ("lint",),
     "engine": ("engine",),
+    "vecprice": ("vecprice",),
     "scenarios": ("scenarios",),
     "closedloop": ("closedloop",),
     "faults": ("faults",),
@@ -70,8 +71,8 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
         "engine", "faults", "lint", "mcu", "obs", "scenarios", "service",
     }),
     "api": frozenset({
-        "backends", "closedloop", "core", "engine", "faults", "scenarios",
-        "service",
+        "backends", "closedloop", "core", "engine", "faults", "mcu",
+        "scenarios", "service", "vecprice",
     }),
     "service": frozenset({
         "backends", "closedloop", "core", "engine", "faults", "mcu", "obs",
@@ -89,7 +90,8 @@ ALLOWED: Dict[str, FrozenSet[str]] = {
         "mcu", "obs",
     }),
     "closedloop": frozenset({"core", "data", "kernels", "mcu", "obs"}),
-    "engine": frozenset({"core", "data", "mcu", "obs"}),
+    "engine": frozenset({"core", "data", "mcu", "obs", "vecprice"}),
+    "vecprice": frozenset({"backends", "core", "data", "mcu"}),
     "core": frozenset({"data", "instrumentation", "mcu"}),
     "instrumentation": frozenset({"data", "mcu"}),
     "kernels": frozenset({"core", "data", "mcu"}),

@@ -60,6 +60,11 @@ class CacheModel:
     Hit-rate policy (and family quirks like the M4's ART accelerator) and
     the fetch-word fraction live on the core's ISA backend; this class
     owns only the stall arithmetic over those rates.
+
+    The stall and activity expressions here are mirrored, in the same
+    operation order, by the columnar pricer in :mod:`repro.vecprice`
+    (byte-identity contract — see ``docs/pricing.md``); change one side
+    and ``tests/test_vecprice.py`` fails until the other follows.
     """
 
     def __init__(self, arch: ArchSpec, config: CacheConfig):

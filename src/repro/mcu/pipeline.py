@@ -52,7 +52,16 @@ class PipelineModel:
         self.arch = arch
 
     def compute_cycles(self, trace: OpTrace, scalar: ScalarType) -> float:
-        """Core execution cycles, before memory-system stalls."""
+        """Core execution cycles, before memory-system stalls.
+
+        This is the serial half of a byte-identity contract: the
+        columnar pricer in :mod:`repro.vecprice` replicates this exact
+        accumulation *order* (float kinds sequentially, then the
+        int/mem/branch sums divided by the overlap factor, then the
+        ``cpi_scale`` derating) so batched results are bit-identical.
+        Reordering any term here is fine for accuracy but must be
+        mirrored there — ``tests/test_vecprice.py`` pins the pair.
+        """
         from repro.backends import backend_for
 
         a = self.arch

@@ -151,6 +151,12 @@ def static_profile(kernel_name: str, base: StaticMix, arch: ArchSpec) -> StaticM
     same compiled binary as the core it derives from, so its static mix
     (and jitter) must be identical.  The per-core (F, I, M, B) factors and
     soft-float expansion rules belong to the core's ISA backend.
+
+    This function is pure — same (kernel, base mix, base core) in, same
+    mix out — which is what lets the batch pricer in
+    :mod:`repro.vecprice` memoize it per (kernel, base core) instead of
+    recomputing the sha256 jitters for every priced cell.  Keep it free
+    of hidden state or the memo silently goes stale.
     """
     # Deferred: backends defines cores in terms of repro.mcu types.
     from repro.backends import backend_for

@@ -58,16 +58,21 @@ def run_scenarios(
     jobs: int = 1,
     options=None,
     telemetry=None,
+    *,
+    vectorize: bool = True,
 ) -> dict:
     """Execute a scenario set and return its full campaign report.
 
     The one-call form the facade and CLI use: validates and runs the set
     (kernel grid + mission jobs) and derives the Pareto / failure-rate
     report, all deterministically — the same set yields a byte-identical
-    report for any ``jobs``.
+    report for any ``jobs`` and either price path (``vectorize`` picks
+    the columnar batch pricer, the default, over the serial per-cell
+    reference).
     """
     result = run_scenario_set(
-        sset, jobs=jobs, options=options, telemetry=telemetry
+        sset, jobs=jobs, options=options, telemetry=telemetry,
+        vectorize=vectorize,
     )
     return build_report(result)
 

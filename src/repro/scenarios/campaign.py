@@ -364,19 +364,24 @@ def run_scenario_set(
     jobs: int = 1,
     options=None,
     telemetry=None,
+    *,
+    vectorize: bool = True,
 ) -> ScenarioCampaignResult:
     """Execute one validated scenario set (kernel grid + mission jobs).
 
     The campaign's phase spans land on a per-tier lane
     (``scenarios:tier-<tier>``) so a mixed trace separates Tier-A anchor
     runs from Tier-B synthetics at a glance.  The same set and seed yield
-    a byte-identical result for any ``jobs``.
+    a byte-identical result for any ``jobs`` — and for either price
+    path: ``vectorize`` picks the engine's columnar batch pricer
+    (default) or the serial per-cell reference, and is ignored when an
+    explicit ``options`` already carries the choice.
     """
     sset = sset.validated()
-    if options is None and jobs > 1:
+    if options is None and (jobs > 1 or not vectorize):
         from repro.engine import EngineOptions
 
-        options = EngineOptions(jobs=jobs)
+        options = EngineOptions(jobs=jobs, vectorize=vectorize)
     tracer = get_tracer()
     metrics = get_metrics()
     if metrics.enabled:

@@ -1,0 +1,42 @@
+"""Columnar batch pricing for solved kernel profiles.
+
+``repro.vecprice`` is the vectorized twin of the engine's per-cell
+pricing stage.  It lowers op traces into ``(reps, 18)`` count matrices
+(:mod:`.lowering`), materializes each backend's cost tables into dense
+pricing vectors (:mod:`.tables`), and prices every cell of a sweep in
+one batched NumPy pass (:mod:`.batch`) — byte-identical to
+``engine.price_profile``, just ~10x faster at campaign scale.
+
+Layering: this package sits beside :mod:`repro.mcu` below the engine —
+it imports backends/mcu/core only, and the engine (plus the
+:mod:`repro.api` facade) calls down into it.  Analysis code and
+examples reach it through ``repro.api.price_batch``; see
+``docs/pricing.md`` for the pricing model and the byte-identity
+contract.
+"""
+
+from repro.vecprice import batch as _batch
+from repro.vecprice import tables as _tables
+from repro.vecprice.batch import PriceItem, price_batch
+from repro.vecprice.lowering import ProfileMatrix, lower_profile, trace_matrix
+from repro.vecprice.tables import pricing_tables
+
+
+def clear_caches() -> None:
+    """Drop every vecprice memo: pricing tables, statics, scalars.
+
+    Test-isolation hook; the memos are pure-function caches, so
+    clearing them never changes results, only re-pays the lowering.
+    """
+    _tables.clear_caches()
+    _batch.clear_caches()
+
+__all__ = [
+    "PriceItem",
+    "ProfileMatrix",
+    "clear_caches",
+    "lower_profile",
+    "price_batch",
+    "pricing_tables",
+    "trace_matrix",
+]

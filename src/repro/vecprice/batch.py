@@ -1,0 +1,324 @@
+"""The columnar batch pricer: many (profile, arch, cache) cells, one pass.
+
+``engine.price_profile`` prices one cell at a time: per repetition it
+rebuilds cost tables, a cache model, and an energy model, and walks the
+op trace attribute by attribute — microseconds of Python per repetition,
+which is the wall-clock bottleneck of campaign-scale sweeps.  This module
+prices **every cell of a batch in one set of NumPy ops**: op traces lower
+to an int64 count matrix (:mod:`.lowering`), cost tables lower to
+per-(core, scalar) CPI vectors (:mod:`.tables`), and cache hit-rate /
+wait-state / power factors broadcast as per-row vectors.
+
+**Byte-identity contract.**  Results are bit-identical to the serial
+reference, not merely close.  Floating-point addition is not
+associative, so the batch math replicates the serial op *order* exactly
+(see ``docs/pricing.md`` for the worked formulas):
+
+* float CPI terms accumulate sequentially over the 8 float kinds, then
+  int / mem / branch sums are formed left-to-right and divided by the
+  dual-issue overlap **after** summation — the order of
+  ``PipelineModel.compute_cycles``;
+* ``cpi_scale`` multiplies per row; the serial guard (skip when 1.0) is
+  equivalent because IEEE-754 multiplication by 1.0 is exact;
+* per-cell scalars (hit rates, static flash profile, cache activity)
+  are computed with the same scalar Python expressions the serial models
+  use, then broadcast — element-wise float64 ops on equal inputs in
+  equal order round identically.
+
+Integer op counts are far below 2**53, so every count converts to
+float64 exactly and each ``count * cpi`` product is the same correctly
+rounded value both paths compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends import backend_for
+from repro.core.results import BenchmarkResult, RunRecord
+from repro.mcu.arch import ArchSpec
+from repro.mcu.cache import CacheConfig
+from repro.mcu.memory import check_fit
+from repro.mcu.ops import OpTrace
+from repro.mcu.static import StaticMix, static_profile
+from repro.scalar import ScalarType, parse_scalar
+from repro.vecprice.lowering import (
+    FLOAT_END,
+    INT_END,
+    MEM_END,
+    ProfileMatrix,
+    cached_profile_matrix,
+)
+from repro.vecprice.tables import pricing_tables
+
+#: One batch item: a solved kernel profile priced on one (core, cache
+#: state) cell.  The profile is duck-typed (anything shaped like
+#: ``engine.KernelProfile``) so this layer never imports the engine.
+PriceItem = Tuple[object, ArchSpec, CacheConfig]
+
+#: Memoized ``static_profile`` results.  The static code model is a pure
+#: function of (kernel name, base core, base mix) — five sha256 jitters
+#: per call — and a campaign re-prices the same (kernel, core) pair for
+#: every cache state, severity, and scenario.  Keyed on ``base_name``
+#: exactly as the model itself is, so fault-derated variants share their
+#: base core's entry (they run the same compiled binary).
+_STATICS: Dict[Tuple[str, str, StaticMix], StaticMix] = {}
+
+_SCALARS: Dict[str, ScalarType] = {}
+
+# Columns of the per-cell factor matrix built inside price_batch:
+# the cache-independent prefix (computed once per profile x arch pair)
+# followed by the cache-dependent suffix, in the order the
+# factors.append(...) block emits them.
+(
+    _OVERLAP, _SCALE, _FF, _FW, _SW, _CLOCK, _IDLE, _DYN0, _SPAN,
+    _IFMISS, _DMISS, _BACT, _HBACT,
+) = range(13)
+
+# Hot-path record assembly: a frozen dataclass pays object.__setattr__
+# once per field in __init__, which dominates batch assembly at scale.
+# Building via __new__ + __dict__ produces a structurally identical
+# instance (dataclass eq/repr/asdict read fields, not __init__), and is
+# only safe while RunRecord stores fields in an instance dict.
+_FAST_RECORDS = not hasattr(RunRecord, "__slots__")
+_record_new = RunRecord.__new__
+
+
+def clear_caches() -> None:
+    """Drop the memoized static profiles and parsed scalars (tests)."""
+    _STATICS.clear()
+    _SCALARS.clear()
+
+
+def _static_for(kernel: str, mix: StaticMix, arch: ArchSpec) -> StaticMix:
+    """Memoized per-(kernel, base core) static code profile."""
+    key = (kernel, arch.base_name, mix)
+    static = _STATICS.get(key)
+    if static is None:
+        static = _STATICS[key] = static_profile(kernel, mix, arch)
+    return static
+
+
+def _scalar_for(name: str) -> ScalarType:
+    """Memoized scalar-type parse (profiles carry the scalar by name)."""
+    scalar = _SCALARS.get(name)
+    if scalar is None:
+        scalar = _SCALARS[name] = parse_scalar(name)
+    return scalar
+
+
+def _skip_result(profile, arch: ArchSpec, cache: CacheConfig) -> BenchmarkResult:
+    """The does-not-fit result, byte-identical to ``engine.skip_result``.
+
+    Mirrors ``repro.engine.profile.skip_result`` (same fields, same
+    message) without importing the engine; ``tests/test_vecprice.py``
+    pins the two against each other.
+    """
+    fit = check_fit(profile.footprint, arch)
+    result = BenchmarkResult(
+        kernel=profile.kernel,
+        arch=arch.name,
+        cache=cache.label,
+        scalar=profile.scalar,
+        dataset=profile.dataset,
+        stage=profile.stage,
+    )
+    result.fits = False
+    result.skip_reason = (
+        f"needs {fit.flash_used} B flash / {fit.sram_used} B SRAM; "
+        f"{arch.name} offers {fit.flash_available} / {fit.sram_available}"
+    )
+    return result
+
+
+def price_batch(items: Sequence[PriceItem]) -> List[BenchmarkResult]:
+    """Price every (profile, arch, cache) cell of a batch in one pass.
+
+    Args:
+        items: Batch cells.  Profiles may repeat across cells (the
+            normal case: one solve re-priced on many cores and cache
+            states); each is lowered to its count matrix once per call.
+
+    Returns:
+        One :class:`~repro.core.results.BenchmarkResult` per item, in
+        item order, byte-identical to ``engine.price_profile`` on the
+        same cell — including memory-misfit skip results.
+    """
+    results: List[Optional[BenchmarkResult]] = [None] * len(items)
+
+    # Per-call memos keyed on object identity: a batch re-prices the
+    # same few profiles and archs across many cells, and id-keyed
+    # lookups dodge the deep dataclass hashing an ArchSpec key costs.
+    lowered: Dict[int, ProfileMatrix] = {}
+    pair_info: Dict[Tuple[int, int], Optional[tuple]] = {}
+    local_tables: Dict[Tuple[int, str], object] = {}
+    table_idx: Dict[int, int] = {}
+    table_stack: List[np.ndarray] = []
+
+    priced: List[Tuple[int, object, ArchSpec, CacheConfig, ProfileMatrix]] = []
+    mats: List[np.ndarray] = []
+    totals: List[np.ndarray] = []
+    nfloats: List[np.ndarray] = []
+    nmems: List[np.ndarray] = []
+    reps: List[int] = []
+    cell_groups: List[int] = []
+    # One 13-wide row of per-cell pricing factors per priced cell, each
+    # factor computed with the serial models' own scalar expressions.
+    factors: List[Tuple[float, ...]] = []
+
+    for i, (profile, arch, cache) in enumerate(items):
+        pkey = (id(profile), id(arch))
+        info = pair_info.get(pkey)
+        if info is None and pkey not in pair_info:
+            if check_fit(profile.footprint, arch).fits:
+                pm = lowered.get(id(profile))
+                if pm is None:
+                    pm = lowered[id(profile)] = cached_profile_matrix(profile)
+                tkey = (id(arch), profile.scalar)
+                tables = local_tables.get(tkey)
+                if tables is None:
+                    tables = local_tables[tkey] = pricing_tables(
+                        arch, _scalar_for(profile.scalar)
+                    )
+                t_idx = table_idx.get(id(tables))
+                if t_idx is None:
+                    t_idx = table_idx[id(tables)] = len(table_stack)
+                    table_stack.append(tables.cpi)
+                static = _static_for(profile.kernel, profile.static_mix, arch)
+                # Cache-independent factor prefix, in column order.
+                pre = (
+                    tables.overlap,
+                    tables.cpi_scale,
+                    tables.fetch_fraction,
+                    tables.flash_wait_cycles,
+                    tables.sram_wait_cycles,
+                    tables.clock_hz,
+                    tables.idle_mw,
+                    tables.active_mw - tables.idle_mw,
+                    tables.activity_span_mw,
+                )
+                info = (
+                    pm, t_idx, backend_for(arch), pre,
+                    tables.cache_bonus_mw, 0.5 * tables.cache_bonus_mw,
+                    static.flash_bytes, profile.footprint.data_bytes,
+                )
+            pair_info[pkey] = info
+        if info is None:
+            results[i] = _skip_result(profile, arch, cache)
+            continue
+        pm, t_idx, backend, pre, bonus, half_bonus, code_bytes, data_bytes = info
+        enabled = cache.enabled
+        i_hit = backend.ifetch_hit_rate(arch, enabled, code_bytes)
+        d_hit = backend.dmem_hit_rate(arch, enabled, data_bytes)
+        # CacheModel.activity: 0.0 disabled, else the mean of the same
+        # two (enabled) hit rates the stall terms use.
+        activity = 0.5 * (i_hit + d_hit) if enabled else 0.0
+
+        priced.append((i, profile, arch, cache, pm))
+        mats.append(pm.matrix)
+        totals.append(pm.totals)
+        nfloats.append(pm.n_float)
+        nmems.append(pm.n_mem)
+        reps.append(len(pm.valids))
+        cell_groups.append(t_idx)
+        # Association matches EnergyModel: (bonus * activity) * busy and
+        # ((0.5 * bonus) * activity) respectively.
+        factors.append(pre + (
+            1.0 - i_hit,
+            1.0 - d_hit,
+            bonus * activity,
+            half_bonus * activity,
+        ))
+
+    if not priced:
+        return results  # type: ignore[return-value]
+
+    counts = np.array(reps, dtype=np.int64)
+    # Broadcast every per-cell factor to its cell's rows in one repeat;
+    # column k of F is factor k, per row.
+    F = np.repeat(np.array(factors, dtype=np.float64), counts, axis=0)
+
+    def spread(col: int) -> np.ndarray:
+        """Column ``col`` of the row-broadcast factor matrix."""
+        return F[:, col]
+
+    T = np.concatenate(mats)
+    gr = np.repeat(np.array(cell_groups, dtype=np.intp), counts)
+    cpi_rows = np.stack(table_stack)[gr]
+    P = T * cpi_rows  # exact per-element products (see module docstring)
+
+    # -- compute cycles: PipelineModel.compute_cycles, vectorized --------
+    compute = np.zeros(len(T), dtype=np.float64)
+    for k in range(FLOAT_END):
+        compute = compute + P[:, k]
+    int_cycles = P[:, FLOAT_END]
+    for k in range(FLOAT_END + 1, INT_END):
+        int_cycles = int_cycles + P[:, k]
+    mem_cycles = P[:, INT_END] + P[:, INT_END + 1]
+    branch_cycles = P[:, MEM_END] + P[:, MEM_END + 1] + P[:, MEM_END + 2]
+    compute = compute + (int_cycles + mem_cycles + branch_cycles) / spread(_OVERLAP)
+    compute = compute * spread(_SCALE)
+
+    # -- stall cycles: CacheModel.ifetch_stalls / dmem_stalls ------------
+    n_instr = np.maximum(np.concatenate(totals), 1)
+    ifetch = ((n_instr * spread(_FF)) * spread(_IFMISS)) * spread(_FW)
+    n_mem_ops = T[:, INT_END] + T[:, INT_END + 1]
+    dmem = (n_mem_ops * spread(_DMISS)) * spread(_SW)
+    total = compute + ifetch + dmem  # CycleBreakdown.total association
+
+    # -- power / energy: EnergyModel.report ------------------------------
+    latency = total / spread(_CLOCK)
+    busy = compute / np.maximum(total, 1.0)
+    f_intensity = np.concatenate(nfloats) / n_instr
+    m_intensity = np.concatenate(nmems) / n_instr
+    dyn_mw = spread(_DYN0) + spread(_SPAN) * f_intensity
+    avg_mw = spread(_IDLE) + dyn_mw * (0.35 + 0.65 * busy) + spread(_BACT) * busy
+    avg_w = avg_mw / 1e3
+    burst_mw = (0.12 * dyn_mw + spread(_HBACT)) * (1.0 + 0.6 * m_intensity)
+    peak_w = avg_w + burst_mw / 1e3
+    energy = avg_w * latency
+
+    # -- assemble records (plain Python floats/ints via tolist) ----------
+    cyc_l = total.tolist()
+    lat_l = latency.tolist()
+    en_l = energy.tolist()
+    avg_l = avg_w.tolist()
+    pk_l = peak_w.tolist()
+    r = 0
+    for i, profile, arch, cache, pm in priced:
+        result = BenchmarkResult(
+            kernel=profile.kernel,
+            arch=arch.name,
+            cache=cache.label,
+            scalar=profile.scalar,
+            dataset=profile.dataset,
+            stage=profile.stage,
+        )
+        result.work_units = profile.work_units
+        runs = result.runs
+        rows = pm.rows
+        valids = pm.valids
+        for rep in range(len(valids)):
+            if _FAST_RECORDS:
+                rec = _record_new(RunRecord)
+                rec.__dict__.update({
+                    "rep": rep,
+                    "cycles": cyc_l[r],
+                    "latency_s": lat_l[r],
+                    "energy_j": en_l[r],
+                    "avg_power_w": avg_l[r],
+                    "peak_power_w": pk_l[r],
+                    "trace": OpTrace(*rows[rep]),
+                    "valid": valids[rep],
+                })
+            else:
+                rec = RunRecord(
+                    rep, cyc_l[r], lat_l[r], en_l[r], avg_l[r], pk_l[r],
+                    OpTrace(*rows[rep]), valids[rep],
+                )
+            runs.append(rec)
+            r += 1
+        results[i] = result
+    return results  # type: ignore[return-value]

@@ -1,0 +1,136 @@
+"""Op-trace → columnar matrix lowering.
+
+The serial pricing path walks one :class:`~repro.mcu.ops.OpTrace` at a
+time, reading 18 attributes and four category-sum properties per
+repetition.  This module lowers a solved profile's repetitions into one
+``(reps, 18)`` int64 matrix — columns in :data:`~repro.mcu.ops.ALL_KINDS`
+order — plus the integer category sums the stall and power formulas need.
+All counts are integers well below 2**53, so they convert to float64
+exactly and every product against a CPI entry is the same correctly
+rounded value the serial path computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mcu.ops import (
+    ALL_KINDS,
+    FLOAT_KINDS,
+    INT_KINDS,
+    MEM_KINDS,
+    OpTrace,
+)
+
+#: Column count of a lowered trace matrix (one column per op kind).
+N_KINDS = len(ALL_KINDS)
+
+#: Column group boundaries, derived from the kind tuples so the slices
+#: can never drift from :mod:`repro.mcu.ops`.
+FLOAT_END = len(FLOAT_KINDS)
+INT_END = FLOAT_END + len(INT_KINDS)
+MEM_END = INT_END + len(MEM_KINDS)
+
+# The batch pricer rebuilds result traces positionally (OpTrace(*row)),
+# which is only correct while the dataclass field order IS the kind
+# order.  Guard it at import so a field reorder fails loudly, not as a
+# silent byte-identity break.
+_FIELD_ORDER = tuple(f.name for f in fields(OpTrace))
+if _FIELD_ORDER != ALL_KINDS:
+    raise RuntimeError(
+        "OpTrace field order diverged from ALL_KINDS; "
+        "repro.vecprice requires them identical"
+    )
+
+
+def trace_matrix(traces: Sequence[OpTrace]) -> np.ndarray:
+    """Lower traces into an ``(n, 18)`` int64 op-count matrix.
+
+    Args:
+        traces: Op traces, one row each, in repetition order.
+
+    Returns:
+        Matrix with columns in :data:`~repro.mcu.ops.ALL_KINDS` order
+        (shape ``(0, 18)`` for an empty input).
+    """
+    return np.array(
+        [[getattr(t, k) for k in ALL_KINDS] for t in traces],
+        dtype=np.int64,
+    ).reshape(len(traces), N_KINDS)
+
+
+@dataclass(frozen=True, eq=False)
+class ProfileMatrix:
+    """One solved profile's measured repetitions in columnar form."""
+
+    #: ``(n, 18)`` int64 op-count matrix, ``ALL_KINDS`` columns.
+    matrix: np.ndarray
+    #: Per-row total dynamic op count (exact integer sums).
+    totals: np.ndarray
+    #: Per-row float-category count (``FLOAT_KINDS`` columns summed).
+    n_float: np.ndarray
+    #: Per-row memory-category count (``MEM_KINDS`` columns summed).
+    n_mem: np.ndarray
+    #: Per-row validation verdicts, in repetition order.
+    valids: Tuple[bool, ...]
+    #: ``matrix`` as plain Python ints, for positional ``OpTrace(*row)``
+    #: reconstruction of result-record traces (keeps results JSON-safe —
+    #: no numpy scalars leak into records).
+    rows: List[List[int]]
+
+    @property
+    def n(self) -> int:
+        """Number of measured repetitions (matrix rows)."""
+        return len(self.valids)
+
+
+def lower_profile(profile) -> ProfileMatrix:
+    """Lower one solved kernel profile into its columnar form.
+
+    Args:
+        profile: A :class:`~repro.engine.KernelProfile`-shaped object —
+            anything with a ``measured`` list of ``(OpTrace, valid)``
+            pairs (duck-typed; this layer does not import the engine).
+
+    Returns:
+        The profile's repetitions as a :class:`ProfileMatrix`.
+    """
+    traces = [trace for trace, _ in profile.measured]
+    matrix = trace_matrix(traces)
+    return ProfileMatrix(
+        matrix=matrix,
+        totals=matrix.sum(axis=1),
+        n_float=matrix[:, :FLOAT_END].sum(axis=1),
+        n_mem=matrix[:, INT_END:MEM_END].sum(axis=1),
+        valids=tuple(bool(valid) for _, valid in profile.measured),
+        rows=matrix.tolist(),
+    )
+
+
+#: Attribute name the instance-level lowering memo hides behind.
+_PM_ATTR = "_vecprice_matrix"
+
+
+def cached_profile_matrix(profile) -> ProfileMatrix:
+    """:func:`lower_profile`, memoized on the profile instance.
+
+    A campaign re-prices the same solved profile across many batches
+    (every core, cache state, scalar pass, and fault scenario), and the
+    attribute-by-attribute trace walk is the most expensive part of
+    lowering.  Solved profiles are immutable by engine convention, so
+    the matrix is stashed on the instance (a private attribute the
+    profile's explicit ``to_dict`` serialization never sees).  Profiles
+    that reject attribute writes (``__slots__`` duck types) simply pay
+    the lowering each call.
+    """
+    pm = getattr(profile, _PM_ATTR, None)
+    if pm is None:
+        pm = lower_profile(profile)
+        try:
+            setattr(profile, _PM_ATTR, pm)
+        except AttributeError:
+            pass
+    return pm

@@ -1,0 +1,48 @@
+"""Memoized pricing-vector materialization per (core, scalar).
+
+Each registered :class:`~repro.backends.ArchBackend` lowers its CPI /
+wait-state / power tables into an :class:`~repro.backends.ArchTables`
+record through the ``tables_as_arrays()`` hook.  The lowering is pure —
+the same (core, scalar) always produces the same vectors — so this
+module memoizes it: a campaign that re-prices the same cores across
+thousands of scenario cells materializes each table exactly once.
+
+Fault-derated arch variants are distinct keys on purpose: a derated
+:class:`~repro.mcu.arch.ArchSpec` carries its own ``cpi_scale`` / clock
+/ power figures, and those must flow into the vectors of that variant
+only.  The cache is bounded by (distinct arch specs) x (scalar types)
+seen in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.backends import ArchTables, backend_for
+from repro.mcu.arch import ArchSpec
+from repro.scalar import ScalarType
+
+_TABLES: Dict[Tuple[ArchSpec, str], ArchTables] = {}
+
+
+def pricing_tables(arch: ArchSpec, scalar: ScalarType) -> ArchTables:
+    """The memoized pricing vectors for one (core, scalar) pair.
+
+    Args:
+        arch: Core spec (nominal or fault-derated variant).
+        scalar: Scalar type the kernel was solved with.
+
+    Returns:
+        The backend's :class:`~repro.backends.ArchTables` lowering,
+        computed once per (arch spec, scalar name) and cached.
+    """
+    key = (arch, scalar.name)
+    tables = _TABLES.get(key)
+    if tables is None:
+        tables = _TABLES[key] = backend_for(arch).tables_as_arrays(arch, scalar)
+    return tables
+
+
+def clear_caches() -> None:
+    """Drop every memoized table (test isolation hook)."""
+    _TABLES.clear()

@@ -53,6 +53,7 @@ PUBLIC_API = [
     "get_fault",
     "list_backends",
     "mission_names",
+    "price_batch",
     "query",
     "register_mission",
     "render_report",

@@ -32,6 +32,7 @@ EXTERNAL_FLAGS = {
     "--benchmark-only",   # pytest-benchmark
     "--benchmark-json",   # pytest-benchmark
     "--cov",              # pytest-cov
+    "--quick",            # benchmarks/bench_vecprice.py's own CLI
 }
 
 FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
@@ -75,7 +76,7 @@ def test_doc_files_exist():
     names = {p.name for p in DOC_FILES}
     assert {"README.md", "DESIGN.md", "EXPERIMENTS.md",
             "architecture.md", "observability.md",
-            "static-analysis.md"} <= names
+            "static-analysis.md", "pricing.md", "benchmarks.md"} <= names
 
 
 @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
@@ -101,7 +102,62 @@ def test_readme_documents_engine_flags():
     """The quickstart table must cover the engine's headline flags."""
     readme_flags = documented_flags(REPO / "README.md")
     assert {"--jobs", "--cache-dir", "--checkpoint", "--resume",
-            "--trace", "--metrics-out"} <= readme_flags
+            "--trace", "--metrics-out", "--price"} <= readme_flags
+
+
+def test_readme_documents_backends_subcommand_and_riscv_cores():
+    """The CLI table must cover the backend registry surface: the
+    ``repro backends list|show`` inspection verbs and the fact that
+    ``--arch``/``--archs`` accept the RV32 cores, not just Cortex-M."""
+    readme = (REPO / "README.md").read_text()
+    assert re.search(r"\brepro backends\b", readme)
+    for verb in ("list", "show"):
+        assert re.search(rf"\brepro backends\b.*`{verb}\b", readme), verb
+    for core in ("rv32imc", "rv32imafc", "rv32ec"):
+        assert core in readme, f"README never mentions --arch {core}"
+
+
+def test_backends_subcommand_has_list_and_show():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            backends = action.choices["backends"]
+            for sub in backends._actions:
+                if isinstance(sub, argparse._SubParsersAction):
+                    assert {"list", "show"} <= set(sub.choices)
+                    return
+    raise AssertionError("repro backends has no list/show subcommands")
+
+
+def test_benchmarks_doc_catalogs_every_bench_script():
+    """docs/benchmarks.md must list every benchmarks/bench_*.py on disk
+    and every BENCH_*.json baseline they seed."""
+    doc = (REPO / "docs" / "benchmarks.md").read_text()
+    scripts = sorted(p.name for p in (REPO / "benchmarks").glob("bench_*.py"))
+    assert scripts, "no bench scripts found — wrong repo layout?"
+    missing = [s for s in scripts if f"`{s}`" not in doc]
+    assert not missing, (
+        f"docs/benchmarks.md does not catalog: {missing}; every bench "
+        "script must have a row in the catalog table"
+    )
+    baselines = {p.name for p in REPO.glob("BENCH_*.json")}
+    baselines |= {p.name for p in (REPO / "benchmarks").glob("BENCH_*.json")}
+    undocumented = {b for b in baselines if b not in doc}
+    assert not undocumented, (
+        f"docs/benchmarks.md never mentions: {sorted(undocumented)}"
+    )
+
+
+def test_pricing_doc_linked_and_names_both_paths():
+    """docs/pricing.md must exist, be reachable from the README, and
+    document the byte-identity contract plus both price paths."""
+    readme = (REPO / "README.md").read_text()
+    assert "docs/pricing.md" in readme
+    assert "docs/benchmarks.md" in readme
+    pricing = (REPO / "docs" / "pricing.md").read_text()
+    for needle in ("byte-identical", "repro.vecprice", "vectorize",
+                   "--price", "BENCH_vecprice.json"):
+        assert needle in pricing, needle
 
 
 def test_readme_documents_lint_flags():
