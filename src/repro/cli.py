@@ -441,6 +441,7 @@ def _cmd_lint(args) -> int:
         default_root,
         render_json,
         render_rule_list,
+        render_sarif,
         render_text,
         run_lint,
     )
@@ -452,15 +453,37 @@ def _cmd_lint(args) -> int:
     rules = args.rules.split(",") if args.rules else None
     baseline_path = (Path(args.baseline) if args.baseline
                      else default_baseline_path(root))
+    cache_path = Path(args.cache) if args.cache else None
     if args.update_baseline:
-        result = run_lint(root=root, rules=rules, use_baseline=False)
+        result = run_lint(root=root, rules=rules, use_baseline=False,
+                          analyze=args.analyze, jobs=args.jobs,
+                          cache_path=cache_path)
         path = Baseline.from_findings(result.all_findings).save(baseline_path)
         print(f"baseline  : {path} "
               f"({len(result.all_findings)} finding(s) grandfathered)")
         return 0
-    result = run_lint(root=root, rules=rules, baseline_path=baseline_path)
-    print(render_json(result) if args.format == "json"
-          else render_text(result))
+    if args.prune_baseline:
+        result = run_lint(root=root, rules=rules, use_baseline=False,
+                          analyze=args.analyze, jobs=args.jobs,
+                          cache_path=cache_path)
+        baseline = Baseline.load(baseline_path)
+        pruned, dropped = baseline.prune(result.all_findings)
+        path = pruned.save(baseline_path)
+        kept = sum(pruned.counts.values())
+        print(f"baseline  : {path} "
+              f"({len(dropped)} stale "
+              f"entr{'y' if len(dropped) == 1 else 'ies'} pruned, "
+              f"{kept} finding(s) kept)")
+        return 0
+    result = run_lint(root=root, rules=rules, baseline_path=baseline_path,
+                      analyze=args.analyze, jobs=args.jobs,
+                      cache_path=cache_path)
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
     return 0 if result.clean else 1
 
 
@@ -642,8 +665,17 @@ def _add_scenarios_args(p: argparse.ArgumentParser) -> None:
 
 def _add_lint_args(p: argparse.ArgumentParser) -> None:
     """The static-analysis flag set (``repro lint``)."""
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="report format (json is canonical for CI)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="report format (json is canonical for CI; "
+                        "sarif uploads to code-scanning dashboards)")
+    p.add_argument("--analyze", choices=("basic", "deep"), default="basic",
+                   help="basic = per-module + import-graph rules; "
+                        "deep adds call-graph taint, shared-state race "
+                        "and API-contract analysis")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel scan workers (findings are "
+                        "path-sorted, so output is identical for any N)")
     p.add_argument("--rules", default=None,
                    help="comma-separated rule ids to run "
                         "(default: all; see --list)")
@@ -653,6 +685,13 @@ def _add_lint_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--update-baseline", action="store_true",
                    help="grandfather the current findings into the "
                         "baseline and exit")
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="drop baseline entries no longer matched by "
+                        "any live finding and exit")
+    p.add_argument("--cache", default=None, metavar="PATH",
+                   help="incremental analysis cache file; only changed "
+                        "modules (plus their reverse-import cone) are "
+                        "re-analyzed")
     p.add_argument("--root", default=None, metavar="PATH",
                    help="package directory to scan "
                         "(default: the installed repro package)")

@@ -37,7 +37,7 @@ from repro.control.smac import SlidingModeAdaptiveController
 from repro.mcu.arch import ArchSpec, M33
 from repro.mcu.cache import CACHE_ON, CacheConfig, CacheModel
 from repro.mcu.energy import EnergyModel
-from repro.mcu.ops import OpCounter, OpTrace
+from repro.mcu.ops import ALL_KINDS, OpCounter, OpTrace
 from repro.mcu.pipeline import PipelineModel
 from repro.obs import get_metrics, get_tracer
 from repro.scalar import F32, ScalarType
@@ -206,7 +206,16 @@ def _emit_mission_telemetry(telemetry, mission_name: str, arch_name: str,
 
 
 class _StepPricer:
-    """Prices one control step's trace on the target core."""
+    """Prices one control step's trace on the target core.
+
+    Steady-state missions execute the same op mix on almost every
+    control step, so pricing is memoized on the trace's op-count tuple:
+    the pipeline/energy models run once per *distinct* trace instead of
+    once per step (the ROADMAP's "batch the mission-job price calls"
+    follow-on).  Pricing is a pure function of the trace, so the memo
+    is byte-identical to re-pricing — the runner's latency feedback
+    loop (step latency gates the next control deadline) is untouched.
+    """
 
     def __init__(self, arch: ArchSpec, cache: CacheConfig, scalar: ScalarType):
         self.arch = arch
@@ -217,6 +226,7 @@ class _StepPricer:
         self.cache_activity = CacheModel(arch, cache).activity(
             STACK_CODE_BYTES, STACK_DATA_BYTES
         )
+        self._memo: dict = {}
 
     def price(self, counter: OpCounter):
         """Price the counter's accumulated trace; returns (latency_s, energy_j)."""
@@ -224,11 +234,16 @@ class _StepPricer:
 
     def price_trace(self, trace: OpTrace):
         """Price one explicit op-trace (used for per-phase attribution)."""
-        breakdown = self.pipeline.cycles(
-            trace, self.scalar, self.cache, STACK_CODE_BYTES, STACK_DATA_BYTES
-        )
-        report = self.energy.report(trace, breakdown, self.cache_activity)
-        return report.latency_s, report.energy_j
+        key = tuple(getattr(trace, kind) for kind in ALL_KINDS)
+        priced = self._memo.get(key)
+        if priced is None:
+            breakdown = self.pipeline.cycles(
+                trace, self.scalar, self.cache,
+                STACK_CODE_BYTES, STACK_DATA_BYTES,
+            )
+            report = self.energy.report(trace, breakdown, self.cache_activity)
+            priced = self._memo[key] = (report.latency_s, report.energy_j)
+        return priced
 
 
 class FlappingWingRunner:

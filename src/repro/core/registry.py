@@ -77,6 +77,7 @@ _load_lock = threading.RLock()
 
 def _ensure_loaded() -> None:
     """Import all kernel packages so their registrations run."""
+    # repro: lint-ignore[worker-shared-state] -- idempotent lazy suite load behind a double-checked RLock; every thread converges on the same registry
     global _loaded
     if _loaded:
         return

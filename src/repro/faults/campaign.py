@@ -219,17 +219,11 @@ def run_mission_grid(
         # comes exclusively from the collation loop below and is therefore
         # identical to the multi-worker path.
         records = []
-        metrics_were_enabled = metrics.enabled
-        metrics.enabled = False
-        prev_track = tracer.track
-        try:
+        with metrics.suspended():
             for cell, payload in zip(cells, payloads):
-                if tracer.enabled:
-                    tracer.track = _cell_track(cell)
-                records.append(_mission_worker(payload))
-        finally:
-            tracer.track = prev_track
-            metrics.enabled = metrics_were_enabled
+                track = _cell_track(cell) if tracer.enabled else None
+                with tracer.on_track(track):
+                    records.append(_mission_worker(payload))
     if metrics.enabled:
         for record in records:
             metrics.inc("faults.mission_cells")

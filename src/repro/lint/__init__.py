@@ -10,13 +10,16 @@ polices.
 Entry points::
 
     python -m repro lint                      # CLI gate (text report)
+    python -m repro lint --analyze deep       # + taint/race/contract engines
+    python -m repro lint --jobs 4             # parallel per-module phase
     python -m repro lint --format json        # machine report for CI
+    python -m repro lint --format sarif       # GitHub code-scanning log
     python -m repro lint --list               # rule catalog
     pytest tests/test_lint.py                 # the same engine as tests
 
 See ``docs/static-analysis.md`` for the rule catalog, the
-``lint-ignore[rule-id]`` suppression-pragma syntax, and the baseline
-workflow.
+``lint-ignore[rule-id] -- reason`` suppression-pragma syntax, and the
+baseline workflow.
 """
 
 from repro.lint.baseline import Baseline
@@ -26,7 +29,9 @@ from repro.lint.engine import (
     default_root,
     run_lint,
     scan_root,
+    select_rules,
 )
+from repro.lint.incremental import AnalysisCache
 from repro.lint.layering import (
     ALLOWED,
     DEFERRED_ALLOWED,
@@ -35,8 +40,14 @@ from repro.lint.layering import (
     group_of,
     render_rule_table,
 )
-from repro.lint.report import render_json, render_rule_list, render_text
+from repro.lint.report import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import (
+    DeepRule,
     Finding,
     all_rules,
     build_import_graph,
@@ -47,12 +58,17 @@ from repro.lint.rules import (
 # Importing the checker modules registers every rule.
 import repro.lint.archconstants  # noqa: F401,E402
 import repro.lint.checkers  # noqa: F401,E402
+import repro.lint.contracts  # noqa: F401,E402
 import repro.lint.facade  # noqa: F401,E402
+import repro.lint.races  # noqa: F401,E402
+import repro.lint.taint  # noqa: F401,E402
 
 __all__ = [
     "ALLOWED",
+    "AnalysisCache",
     "Baseline",
     "DEFERRED_ALLOWED",
+    "DeepRule",
     "Finding",
     "GROUPS",
     "LintResult",
@@ -66,8 +82,10 @@ __all__ = [
     "render_json",
     "render_rule_list",
     "render_rule_table",
+    "render_sarif",
     "render_text",
     "rule_ids",
     "run_lint",
     "scan_root",
+    "select_rules",
 ]

@@ -1,16 +1,20 @@
 """The committed-baseline mechanism for grandfathered findings.
 
 A baseline is a JSON file mapping finding fingerprints (rule, path,
-message — deliberately no line numbers, see
+normalized-snippet hash, message — deliberately no line numbers, see
 :meth:`repro.lint.rules.Finding.fingerprint`) to occurrence counts.
 Findings that match a baseline entry are *grandfathered*: reported in
 the summary but not as failures, so a new rule can land before every
 historical violation is fixed, while any **new** violation still gates.
+Because the key hashes the flagged source line rather than recording
+where it sits, unrelated edits above a suppressed finding leave the
+baseline intact; editing the flagged line itself invalidates the entry.
 
 Workflow::
 
     python -m repro lint                      # new findings fail
     python -m repro lint --update-baseline    # grandfather the current set
+    python -m repro lint --prune-baseline     # drop + report stale entries
 
 Baseline entries that no longer match anything are reported as *stale*
 so the file shrinks as debt is paid down.
@@ -25,8 +29,10 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.lint.rules import Finding
 
-#: On-disk format version, bumped on incompatible changes.
-BASELINE_VERSION = 1
+#: On-disk format version, bumped on incompatible changes.  v2 keys
+#: fingerprints on the normalized-snippet hash instead of nothing but
+#: the message, so they survive line moves *and* invalidate on edits.
+BASELINE_VERSION = 2
 
 
 @dataclass
@@ -44,7 +50,9 @@ class Baseline:
         data = json.loads(path.read_text())
         if data.get("version") != BASELINE_VERSION:
             raise ValueError(
-                f"{path}: unsupported baseline version {data.get('version')!r}"
+                f"{path}: unsupported baseline version "
+                f"{data.get('version')!r} (expected {BASELINE_VERSION}; "
+                f"regenerate with --update-baseline)"
             )
         counts = {str(k): int(v) for k, v in data.get("findings", {}).items()}
         return cls(counts=counts)
@@ -89,3 +97,21 @@ class Baseline:
                 new.append(finding)
         stale = sorted(k for k, count in remaining.items() if count > 0)
         return new, baselined, stale
+
+    def prune(self, findings: Sequence[Finding]) -> Tuple["Baseline", List[str]]:
+        """Drop entries that no longer match any current finding.
+
+        Returns the pruned baseline plus the dropped fingerprints (for
+        reporting).  Counts shrink to the number of matching findings,
+        so half-fixed entries shrink rather than vanish.
+        """
+        live: Dict[str, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            if key in self.counts and live.get(key, 0) < self.counts[key]:
+                live[key] = live.get(key, 0) + 1
+        dropped = sorted(
+            key for key, count in self.counts.items()
+            if live.get(key, 0) < count
+        )
+        return Baseline(counts=live), dropped

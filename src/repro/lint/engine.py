@@ -1,47 +1,74 @@
 """The lint runner: scan, parse once, dispatch rules, apply suppressions.
 
 One :func:`run_lint` call walks a package root (``src/repro`` by
-default) in sorted order, parses every file exactly once, hands the
-modules to each per-file rule and the import graph to each
-whole-program rule, then filters the findings through the suppression
-pragmas and the committed baseline.  Everything downstream — the text
-and JSON reporters, the CLI exit code, the pytest entry point — works
-off the returned :class:`LintResult`.
+default) in sorted order, analyzes every file exactly once, hands the
+modules to each per-file rule, the import graph to each whole-program
+rule, and the extracted fact pool to each deep rule, then filters the
+findings through the suppression pragmas and the committed baseline.
+Everything downstream — the text/JSON/SARIF reporters, the CLI exit
+code, the pytest entry point — works off the returned
+:class:`LintResult`.
+
+Three engine axes compose:
+
+* ``analyze="deep"`` adds the flow-sensitive whole-program rules
+  (taint propagation, race detection, contract checking) on top of the
+  per-file set;
+* ``jobs=N`` parallelizes the per-module phase across a process pool
+  — findings stay byte-identical to ``jobs=1`` because per-module
+  records merge in sorted path order and all whole-program solving
+  happens in the parent;
+* ``cache_path=...`` enables the incremental cache: only changed
+  modules and their reverse-dependency cone re-analyze.
 
 Suppression pragma::
 
     risky_call()  # repro: lint-ignore[iteration-order]
     # repro: lint-ignore[no-wall-clock,no-unseeded-rng]  (next line)
     # repro: lint-ignore  (all rules, same/next line)
+    hot()  # repro: lint-ignore[taint-determinism] -- measured, not priced
 
 A pragma naming a rule id that does not exist is itself a finding
-(``pragma-hygiene``), so typos cannot silently disable a check.
+(``pragma-hygiene``), so typos cannot silently disable a check — and
+suppressing a *deep* rule without a ``-- reason`` string is a finding
+too, so whole-program exemptions stay documented.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.baseline import Baseline
+from repro.lint.incremental import (
+    AnalysisCache,
+    ModuleEntry,
+    content_hash,
+    rules_signature,
+)
 from repro.lint.rules import (
+    DeepRule,
     Finding,
-    ImportGraph,
     Module,
     Rule,
     all_rules,
-    build_import_graph,
     get_rule,
+    graph_from_records,
+    collect_import_records,
     register_rule,
     rule_ids,
 )
 
-#: Matches ``# repro: lint-ignore`` and ``# repro: lint-ignore[a,b]``.
+#: Matches ``# repro: lint-ignore``, ``...[a,b]``, and an optional
+#: ``-- reason`` tail documenting why the suppression is sound.
 PRAGMA_RE = re.compile(
-    r"#\s*repro:\s*lint-ignore(?:\[(?P<rules>[^\]]*)\])?"
+    r"#\s*repro:\s*lint-ignore"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
 )
 
 #: Sentinel meaning "suppress every rule on this line".
@@ -49,11 +76,13 @@ ALL_RULES = "*"
 
 
 class PragmaHygieneRule(Rule):
-    """Suppression pragmas must name real rule ids.
+    """Suppression pragmas must name real rule ids and carry reasons.
 
     Implemented by the engine itself (pragmas are an engine concept),
     registered here so the id shows up in the catalog, the docs test,
-    and ``repro lint --list`` like any other rule.
+    and ``repro lint --list`` like any other rule.  Two obligations:
+    the pragma must name registered rule ids, and suppressions of deep
+    (whole-program) rules must carry a ``-- reason`` string.
     """
 
     id = "pragma-hygiene"
@@ -69,9 +98,14 @@ register_rule(PragmaHygieneRule())
 
 @dataclass
 class Suppressions:
-    """Per-line suppression table for one module."""
+    """Per-line suppression table for one module.
 
-    by_line: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    Each line maps suppressed rule ids to the pragma's reason string
+    (empty when the pragma gave none); deep-rule enforcement reads the
+    reason back through :meth:`reason`.
+    """
+
+    by_line: Dict[int, Dict[str, str]] = field(default_factory=dict)
 
     def covers(self, line: int, rule_id: str) -> bool:
         """True when ``rule_id`` is suppressed on ``line``."""
@@ -79,6 +113,24 @@ class Suppressions:
         if rules is None:
             return False
         return ALL_RULES in rules or rule_id in rules
+
+    def reason(self, line: int, rule_id: str) -> str:
+        """The documented reason for a suppression ('' when absent)."""
+        rules = self.by_line.get(line, {})
+        if rule_id in rules:
+            return rules[rule_id]
+        return rules.get(ALL_RULES, "")
+
+    def to_dict(self) -> Dict[str, Dict[str, str]]:
+        """JSON form for the incremental cache (line keys as strings)."""
+        return {str(line): dict(sorted(rules.items()))
+                for line, rules in sorted(self.by_line.items())}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, str]]) -> "Suppressions":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(by_line={int(line): dict(rules)
+                            for line, rules in data.items()})
 
 
 def scan_pragmas(module: Module) -> Tuple[Suppressions, List[Finding]]:
@@ -95,6 +147,7 @@ def scan_pragmas(module: Module) -> Tuple[Suppressions, List[Finding]]:
         if not match:
             continue
         raw = match.group("rules")
+        reason = (match.group("reason") or "").strip()
         if raw is None:
             rules: Set[str] = {ALL_RULES}
         else:
@@ -108,9 +161,10 @@ def scan_pragmas(module: Module) -> Tuple[Suppressions, List[Finding]]:
         if text.lstrip().startswith("#"):
             targets.append(lineno + 1)
         for target in targets:
-            merged = set(suppressions.by_line.get(target, frozenset()))
-            merged |= rules
-            suppressions.by_line[target] = frozenset(merged)
+            merged = dict(suppressions.by_line.get(target, {}))
+            for rule_id in rules:
+                merged[rule_id] = reason
+            suppressions.by_line[target] = merged
     return suppressions, findings
 
 
@@ -124,6 +178,29 @@ def default_baseline_path(root: Path) -> Path:
     return root.parents[1] / "lint-baseline.json"
 
 
+def _module_meta(root: Path, path: Path) -> Tuple[str, str]:
+    """(relpath, dotted name) for one file under ``root``."""
+    rel = path.relative_to(root)
+    parts = list(rel.parts)
+    if parts[-1] == "__init__.py":
+        dotted = [root.name] + parts[:-1]
+    else:
+        dotted = [root.name] + parts[:-1] + [rel.stem]
+    return f"{root.name}/{rel.as_posix()}", ".".join(dotted)
+
+
+def _parse_module(root: Path, relpath: str) -> Module:
+    """Parse one file (relative to ``root``'s parent) into a Module."""
+    path = root.parent / relpath
+    _, name = _module_meta(root, path)
+    text = path.read_text()
+    return Module(
+        path=path, relpath=relpath, name=name,
+        tree=ast.parse(text, filename=str(path)),
+        lines=text.splitlines(),
+    )
+
+
 def scan_root(root: Path) -> List[Module]:
     """Parse every ``*.py`` under ``root`` into :class:`Module` objects.
 
@@ -133,17 +210,10 @@ def scan_root(root: Path) -> List[Module]:
     """
     modules: List[Module] = []
     for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root)
-        parts = list(rel.parts)
-        if parts[-1] == "__init__.py":
-            dotted = [root.name] + parts[:-1]
-        else:
-            dotted = [root.name] + parts[:-1] + [rel.stem]
+        relpath, name = _module_meta(root, path)
         text = path.read_text()
         modules.append(Module(
-            path=path,
-            relpath=f"{root.name}/{rel.as_posix()}",
-            name=".".join(dotted),
+            path=path, relpath=relpath, name=name,
             tree=ast.parse(text, filename=str(path)),
             lines=text.splitlines(),
         ))
@@ -161,6 +231,9 @@ class LintResult:
     stale_baseline: List[str]  #: baseline fingerprints that matched nothing
     files: int  #: modules scanned
     rules: List[str]  #: rule ids that ran
+    analyze: str = "basic"  #: analysis mode this result came from
+    analyzed: List[str] = field(default_factory=list)  #: re-analyzed relpaths
+    reused: List[str] = field(default_factory=list)  #: cache-served relpaths
 
     @property
     def clean(self) -> bool:
@@ -168,11 +241,88 @@ class LintResult:
         return not self.findings
 
 
-def select_rules(rules: Optional[Sequence[str]]) -> List[Rule]:
-    """Resolve a rule-id filter to rule objects (all rules when None)."""
+def select_rules(
+    rules: Optional[Sequence[str]] = None, analyze: str = "basic"
+) -> List[Rule]:
+    """Resolve a rule-id filter to rule objects.
+
+    ``None`` selects every registered per-file/program rule; the deep
+    (whole-program dataflow) rules join only under ``analyze="deep"``.
+    An explicit id list always wins, so ``--rules taint-determinism``
+    runs the deep pipeline regardless of the mode flag.
+    """
     if rules is None:
-        return all_rules()
+        selected = all_rules()
+        if analyze != "deep":
+            selected = [r for r in selected if not isinstance(r, DeepRule)]
+        return selected
     return [get_rule(rule_id) for rule_id in rules]
+
+
+def _analyze_module(
+    module: Module,
+    module_rules: Sequence[Rule],
+    extractors: Dict[str, "DeepRule"],
+    digest: str,
+) -> ModuleEntry:
+    """Run the cacheable per-module phase for one parsed module."""
+    findings: List[Finding] = []
+    for rule in module_rules:
+        findings.extend(rule.check_module(module))
+    suppressions, pragma_findings = scan_pragmas(module)
+
+    def _snip(finding: Finding) -> Finding:
+        if 1 <= finding.line <= len(module.lines):
+            return finding.with_snippet(module.lines[finding.line - 1])
+        return finding
+
+    facts = {key: extractor.extract(module)
+             for key, extractor in sorted(extractors.items())}
+    return ModuleEntry(
+        hash=digest,
+        name=module.name,
+        findings=[_snip(f).to_dict() for f in findings],
+        pragma_findings=[_snip(f).to_dict() for f in pragma_findings],
+        suppressions=suppressions.to_dict(),
+        imports=collect_import_records(module),
+        facts=facts,
+    )
+
+
+def _extractors_for(deep_rules: Sequence[DeepRule]) -> Dict[str, DeepRule]:
+    """One representative extractor per shared facts key."""
+    extractors: Dict[str, DeepRule] = {}
+    for rule in deep_rules:
+        extractors.setdefault(rule.facts_key, rule)
+    return extractors
+
+
+def _scan_worker(
+    payload: Tuple[str, List[str], List[str], List[str]],
+) -> List[Tuple[str, dict]]:
+    """Process-pool worker: analyze a chunk of files, return JSON records.
+
+    Workers re-import :mod:`repro.lint` to register the rule registry in
+    their own process, parse each assigned file, and ship back plain
+    dicts — no AST trees cross the pickle boundary.
+    """
+    import repro.lint  # noqa: F401  (registers every rule)
+
+    root_str, relpaths, module_rule_ids, facts_keys = payload
+    root = Path(root_str)
+    module_rules = [get_rule(rid) for rid in module_rule_ids]
+    deep_rules = [r for r in all_rules()
+                  if isinstance(r, DeepRule) and r.facts_key in facts_keys]
+    extractors = _extractors_for(deep_rules)
+    out: List[Tuple[str, dict]] = []
+    for relpath in relpaths:
+        module = _parse_module(root, relpath)
+        text = module.path.read_text()
+        entry = _analyze_module(
+            module, module_rules, extractors, content_hash(text)
+        )
+        out.append((relpath, entry.to_dict()))
+    return out
 
 
 def run_lint(
@@ -180,44 +330,153 @@ def run_lint(
     rules: Optional[Sequence[str]] = None,
     baseline_path: Optional[Path] = None,
     use_baseline: bool = True,
+    analyze: str = "basic",
+    jobs: int = 1,
+    cache_path: Optional[Path] = None,
 ) -> LintResult:
     """Run the framework over ``root`` and return the filtered result.
 
     Args:
         root: Package directory to scan (default: the installed
             ``src/repro``).
-        rules: Rule-id filter; None runs every registered rule.
+        rules: Rule-id filter; None runs every registered rule of the
+            selected ``analyze`` mode.
         baseline_path: Baseline file (default:
             ``<repo>/lint-baseline.json`` relative to ``root``; a
             missing file is an empty baseline).
         use_baseline: Set False to report grandfathered findings too.
+        analyze: ``"basic"`` (per-file + import-graph rules) or
+            ``"deep"`` (adds taint/race/contract whole-program rules).
+        jobs: Worker processes for the per-module phase; findings are
+            byte-identical at any value.
+        cache_path: Incremental-cache file; when given, unchanged
+            modules (outside the reverse-dependency cone of changes)
+            are served from cache.
     """
     root = Path(root) if root is not None else default_root()
-    selected = select_rules(rules)
+    selected = select_rules(rules, analyze)
     selected_ids = {rule.id for rule in selected}
-    modules = scan_root(root)
-    graph = build_import_graph(modules)
+    deep_rules = [r for r in selected if isinstance(r, DeepRule)]
+    deep_ids = {r.id for r in deep_rules}
+    module_rules = [r for r in selected if not isinstance(r, DeepRule)]
+    module_rule_ids = sorted(r.id for r in module_rules)
+    extractors = _extractors_for(deep_rules)
+    facts_keys = sorted(extractors)
 
-    suppression_of: Dict[str, Suppressions] = {}
+    # -- discover files and plan the incremental work -----------------------
+    current: Dict[str, Tuple[str, str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        relpath, name = _module_meta(root, path)
+        current[relpath] = (content_hash(path.read_text()), name)
+
+    signature = rules_signature(sorted(selected_ids))
+    cache = AnalysisCache.load(cache_path, signature)
+    dirty, reused = cache.plan(current)
+
+    # -- per-module phase: inline or fan out over a process pool ------------
+    todo = sorted(dirty)
+    if todo:
+        if jobs > 1 and len(todo) > 1:
+            workers = min(jobs, len(todo))
+            chunks: List[List[str]] = [[] for _ in range(workers)]
+            for index, relpath in enumerate(todo):
+                chunks[index % workers].append(relpath)
+            payloads = [
+                (str(root), chunk, module_rule_ids, facts_keys)
+                for chunk in chunks if chunk
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for result in pool.map(_scan_worker, payloads):
+                    for relpath, entry in result:
+                        cache.modules[relpath] = ModuleEntry.from_dict(entry)
+        else:
+            for relpath in todo:
+                module = _parse_module(root, relpath)
+                cache.modules[relpath] = _analyze_module(
+                    module, module_rules, extractors, current[relpath][0]
+                )
+    cache.modules = {rp: entry for rp, entry in cache.modules.items()
+                     if rp in current}
+
+    # -- whole-program phase: always re-solved in the parent ----------------
+    relpaths = sorted(current)
+    entries = {rp: cache.modules[rp] for rp in relpaths}
+    stub_modules = [
+        Module(path=root.parent / rp, relpath=rp,
+               name=entries[rp].name, tree=None, lines=[])
+        for rp in relpaths
+    ]
+    graph = graph_from_records(
+        {entries[rp].name: (rp, entries[rp].imports) for rp in relpaths},
+        [entries[rp].name for rp in relpaths],
+    )
+
+    suppression_of: Dict[str, Suppressions] = {
+        rp: Suppressions.from_dict(entries[rp].suppressions)
+        for rp in relpaths
+    }
     collected: List[Finding] = []
-    for module in modules:
-        suppressions, pragma_findings = scan_pragmas(module)
-        suppression_of[module.relpath] = suppressions
+    for rp in relpaths:
+        collected.extend(
+            Finding.from_dict(f) for f in entries[rp].findings
+        )
         if "pragma-hygiene" in selected_ids:
-            collected.extend(pragma_findings)
-        for rule in selected:
-            collected.extend(rule.check_module(module))
-    for rule in selected:
-        collected.extend(rule.check_program(modules, graph))
+            collected.extend(
+                Finding.from_dict(f) for f in entries[rp].pragma_findings
+            )
+    for rule in module_rules:
+        collected.extend(rule.check_program(stub_modules, graph))
+    for rule in deep_rules:
+        facts = {rp: entries[rp].facts[rule.facts_key] for rp in relpaths}
+        collected.extend(rule.solve(facts, stub_modules, graph))
 
+    # -- attach snippets (fingerprint input) to late findings ---------------
+    lines_of: Dict[str, List[str]] = {}
+
+    def _snippet(finding: Finding) -> Finding:
+        if finding.snippet:
+            return finding
+        if finding.path not in lines_of:
+            candidate = root.parent / finding.path
+            if not candidate.is_file():
+                candidate = root.parents[1] / finding.path
+            try:
+                lines_of[finding.path] = (
+                    candidate.read_text().splitlines()
+                )
+            except OSError:
+                lines_of[finding.path] = []
+        lines = lines_of[finding.path]
+        if 1 <= finding.line <= len(lines):
+            return finding.with_snippet(lines[finding.line - 1])
+        return finding
+
+    collected = [_snippet(f) for f in collected]
+
+    # -- suppressions (with deep-rule reason enforcement) -------------------
     raw: List[Finding] = []
     suppressed = 0
+    reasonless: Set[Tuple[str, int, str]] = set()
     for finding in collected:
         table = suppression_of.get(finding.path)
         if table is not None and table.covers(finding.line, finding.rule):
             suppressed += 1
+            if (
+                finding.rule in deep_ids
+                and not table.reason(finding.line, finding.rule)
+                and "pragma-hygiene" in selected_ids
+            ):
+                reasonless.add((finding.path, finding.line, finding.rule))
         else:
             raw.append(finding)
+    for path, line, rule_id in sorted(reasonless):
+        raw.append(_snippet(Finding(
+            rule="pragma-hygiene", path=path, line=line,
+            message=(
+                f"suppressing whole-program rule {rule_id!r} requires a "
+                f"documented reason: append ' -- <why>' to the pragma"
+            ),
+        )))
 
     raw.sort(key=Finding.sort_key)
 
@@ -230,12 +489,18 @@ def run_lint(
     else:
         new, baselined, stale = list(raw), 0, []
 
+    if cache_path is not None:
+        cache.save(Path(cache_path))
+
     return LintResult(
         findings=new,
         all_findings=raw,
         suppressed=suppressed,
         baselined=baselined,
         stale_baseline=stale,
-        files=len(modules),
+        files=len(relpaths),
         rules=sorted(rule.id for rule in selected),
+        analyze=analyze,
+        analyzed=sorted(dirty),
+        reused=sorted(reused),
     )

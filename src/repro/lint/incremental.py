@@ -1,0 +1,189 @@
+"""Hash-keyed per-module analysis cache for incremental lint runs.
+
+CI (and any warm local run) should not re-analyze 150 modules because
+one changed.  The engine's per-module work — parsing, module-rule
+findings, pragma tables, raw import records, deep-rule fact extraction
+— is pure in the file content, so it caches under the file's sha256.
+The whole-program *solve* phases (layering, taint fixpoint, race
+reachability, contracts) always re-run over the combined fact pool;
+they are cheap next to parsing and their inputs may span modules.
+
+Invalidation is deliberately conservative:
+
+* a module re-analyzes when its content hash changes;
+* its **reverse-dependency cone** (every module that transitively
+  imports it) re-analyzes too, because ``from X import y`` resolution
+  depends on the global module-name set and re-export facts flow
+  through importers;
+* adding or removing any module invalidates everything (name-set
+  changes can re-resolve imports anywhere; module churn is rare);
+* a change in the selected rule set or analyzer version invalidates
+  everything (the cached facts may be for different extractors).
+
+The cache file is plain JSON with sorted keys, so repeated runs over
+an unchanged tree rewrite it byte-identically — the linter obeys the
+determinism discipline it enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Bump when extraction output shapes change (invalidates all caches).
+ANALYZER_VERSION = 1
+
+CACHE_VERSION = 1
+
+
+def content_hash(text: str) -> str:
+    """sha256 of a module's source text (the cache key)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def rules_signature(rule_ids: Sequence[str]) -> str:
+    """Digest of the selected rule set + analyzer version."""
+    payload = json.dumps(
+        {"analyzer": ANALYZER_VERSION, "rules": sorted(rule_ids)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class ModuleEntry:
+    """Everything the engine needs to skip re-analyzing one module."""
+
+    hash: str
+    name: str  #: dotted module name
+    findings: List[dict] = field(default_factory=list)
+    pragma_findings: List[dict] = field(default_factory=list)
+    #: ``{line (str): {rule id: reason string ('' = none)}}``
+    suppressions: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    imports: List[dict] = field(default_factory=list)  #: raw records
+    facts: Dict[str, dict] = field(default_factory=dict)  #: per facts_key
+
+    def to_dict(self) -> dict:
+        """JSON form."""
+        return {
+            "hash": self.hash, "name": self.name,
+            "findings": self.findings,
+            "pragma_findings": self.pragma_findings,
+            "suppressions": self.suppressions,
+            "imports": self.imports,
+            "facts": self.facts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleEntry":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            hash=data["hash"], name=data["name"],
+            findings=list(data["findings"]),
+            pragma_findings=list(data["pragma_findings"]),
+            suppressions={k: dict(v)
+                          for k, v in data["suppressions"].items()},
+            imports=list(data["imports"]),
+            facts=dict(data["facts"]),
+        )
+
+
+@dataclass
+class AnalysisCache:
+    """The on-disk cache: one :class:`ModuleEntry` per relpath."""
+
+    signature: str = ""
+    modules: Dict[str, ModuleEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Optional[Path], signature: str) -> "AnalysisCache":
+        """Read a cache file; any mismatch degrades to an empty cache."""
+        if path is None or not Path(path).exists():
+            return cls(signature=signature)
+        try:
+            data = json.loads(Path(path).read_text())
+        except (json.JSONDecodeError, OSError):
+            return cls(signature=signature)
+        if (
+            data.get("version") != CACHE_VERSION
+            or data.get("signature") != signature
+        ):
+            return cls(signature=signature)
+        return cls(
+            signature=signature,
+            modules={
+                relpath: ModuleEntry.from_dict(entry)
+                for relpath, entry in data.get("modules", {}).items()
+            },
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the cache with sorted keys (byte-stable on no change)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "modules": {
+                relpath: self.modules[relpath].to_dict()
+                for relpath in sorted(self.modules)
+            },
+        }
+        Path(path).write_text(json.dumps(payload, sort_keys=True) + "\n")
+
+    def plan(
+        self, current: Dict[str, Tuple[str, str]]
+    ) -> Tuple[Set[str], Set[str]]:
+        """Decide what to re-analyze.
+
+        Args:
+            current: ``{relpath: (content hash, dotted name)}`` for the
+                files on disk right now.
+
+        Returns:
+            ``(dirty, reused)`` relpath sets.  ``dirty`` includes the
+            changed modules plus their transitive reverse-dependency
+            cone; ``reused`` is everything served from cache.
+        """
+        cached_paths = set(self.modules)
+        current_paths = set(current)
+        if cached_paths != current_paths:
+            # Name-set change: import resolution may shift anywhere.
+            return set(current_paths), set()
+        changed = {
+            relpath for relpath, (digest, _) in current.items()
+            if self.modules[relpath].hash != digest
+        }
+        if not changed:
+            return set(), set(current_paths)
+        dirty = changed | self._reverse_cone(changed, current)
+        return dirty, current_paths - dirty
+
+    def _reverse_cone(
+        self, changed: Set[str], current: Dict[str, Tuple[str, str]]
+    ) -> Set[str]:
+        """Transitive reverse importers of ``changed``, from cached records."""
+        relpath_of = {name: relpath
+                      for relpath, (_, name) in current.items()}
+        importers: Dict[str, Set[str]] = {}
+        for relpath, entry in self.modules.items():
+            for record in entry.imports:
+                targets = [record["target"]]
+                if record["kind"] == "from":
+                    base = record["target"]
+                    targets.append(f"{base}.{record['name']}"
+                                   if base else record["name"])
+                for target in targets:
+                    dep = relpath_of.get(target)
+                    if dep is not None and dep != relpath:
+                        importers.setdefault(dep, set()).add(relpath)
+        cone: Set[str] = set()
+        frontier = sorted(changed)
+        while frontier:
+            node = frontier.pop()
+            for importer in importers.get(node, ()):
+                if importer not in cone and importer not in changed:
+                    cone.add(importer)
+                    frontier.append(importer)
+        return cone

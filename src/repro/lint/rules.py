@@ -15,6 +15,7 @@ layering discipline it enforces (``repro.lint`` is an import leaf).
 from __future__ import annotations
 
 import ast
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -24,19 +25,38 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 class Finding:
     """One rule violation at one source location.
 
-    ``message`` is deliberately line-number free so that a finding's
-    :meth:`fingerprint` survives unrelated edits above it — that is what
-    makes the committed baseline file stable across refactors.
+    ``message`` and ``snippet`` are deliberately line-number free so
+    that a finding's :meth:`fingerprint` survives unrelated edits above
+    it — that is what makes the committed baseline file stable across
+    refactors.  ``snippet`` is the whitespace-normalized source line the
+    finding points at; the engine attaches it after rules run.
     """
 
     rule: str
     path: str  #: package-relative posix path, e.g. ``repro/engine/executor.py``
     line: int
     message: str
+    snippet: str = ""  #: source line at ``line``, attached by the engine
+
+    def snippet_hash(self) -> str:
+        """Short digest of the normalized snippet (baseline key part)."""
+        normalized = " ".join(self.snippet.split())
+        return hashlib.sha256(normalized.encode()).hexdigest()[:12]
 
     def fingerprint(self) -> str:
-        """Stable identity used by the baseline file (no line numbers)."""
-        return f"{self.rule}::{self.path}::{self.message}"
+        """Stable identity used by the baseline file (no line numbers).
+
+        Keyed on (rule, path, snippet hash, message): unrelated edits
+        above the finding move its line but not its fingerprint, while
+        editing the flagged line itself invalidates the entry — exactly
+        the staleness semantics a suppress-and-review baseline wants.
+        """
+        return f"{self.rule}::{self.path}::{self.snippet_hash()}::{self.message}"
+
+    def with_snippet(self, snippet: str) -> "Finding":
+        """Copy of this finding carrying the given source snippet."""
+        return Finding(rule=self.rule, path=self.path, line=self.line,
+                       message=self.message, snippet=snippet)
 
     def sort_key(self) -> tuple:
         """Canonical ordering: path, then line, then rule, then message."""
@@ -49,7 +69,16 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "message": self.message,
+            "snippet": self.snippet,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache/workers)."""
+        return cls(
+            rule=data["rule"], path=data["path"], line=data["line"],
+            message=data["message"], snippet=data.get("snippet", ""),
+        )
 
 
 @dataclass
@@ -87,6 +116,41 @@ class Rule:
         self, modules: Sequence[Module], graph: "ImportGraph"
     ) -> Iterable[Finding]:
         """Yield whole-program findings; default checks nothing."""
+        return ()
+
+
+class DeepRule(Rule):
+    """Whole-program rules split into extraction and solving phases.
+
+    Deep rules (``repro lint --analyze deep``) separate the per-module
+    work from the whole-program reasoning:
+
+    * :meth:`extract` reads one parsed module and returns **JSON-able
+      facts** — this half is parallelized across worker processes and
+      cached per-module by the incremental engine;
+    * :meth:`solve` sees every module's facts at once (fresh or from
+      cache) and yields findings — this half always re-runs, because a
+      change in one module can create a violation reported in another.
+
+    Rules sharing :attr:`facts_key` share one extraction pass: the
+    taint and race engines both solve over the call-graph summaries
+    produced by :func:`repro.lint.callgraph.summarize_module`.
+    """
+
+    #: Extraction-cache key; rules with the same key share extract output.
+    facts_key: str = ""
+
+    def extract(self, module: Module) -> dict:
+        """Per-module JSON-able facts for :meth:`solve` (cacheable)."""
+        return {}
+
+    def solve(
+        self,
+        facts: Dict[str, dict],
+        modules: Sequence[Module],
+        graph: "ImportGraph",
+    ) -> Iterable[Finding]:
+        """Whole-program pass over ``{relpath: facts}``; always re-runs."""
         return ()
 
 
@@ -163,16 +227,23 @@ def _resolve_relative(module_name: str, level: int, base: Optional[str]) -> str:
     return ".".join(anchor)
 
 
-def build_import_graph(modules: Sequence[Module]) -> ImportGraph:
-    """Collect every import edge from every module, tagging deferred ones."""
-    graph = ImportGraph(module_names=[m.name for m in modules])
-    for module in modules:
-        _collect_edges(module, module.tree, deferred=False, graph=graph)
-    return graph
+def collect_import_records(module: Module) -> List[dict]:
+    """Raw, *unresolved* import records for one module (JSON-able).
+
+    ``from X import y`` targets cannot be resolved per-module: whether
+    ``y`` names a scanned submodule or a symbol depends on the global
+    module-name set.  The incremental cache therefore stores these raw
+    records and the engine resolves them against the current scan via
+    :func:`graph_from_records` — which is also why a module edit must
+    re-analyze its reverse-dependency cone.
+    """
+    records: List[dict] = []
+    _collect_records(module, module.tree, deferred=False, records=records)
+    return records
 
 
-def _collect_edges(
-    module: Module, node: ast.AST, deferred: bool, graph: ImportGraph
+def _collect_records(
+    module: Module, node: ast.AST, deferred: bool, records: List[dict]
 ) -> None:
     for child in ast.iter_child_nodes(node):
         child_deferred = deferred or isinstance(
@@ -180,26 +251,59 @@ def _collect_edges(
         )
         if isinstance(child, ast.Import):
             for alias in child.names:
-                graph.edges.append(ImportEdge(
-                    src_module=module.name, target=alias.name,
-                    path=module.relpath, line=child.lineno,
-                    deferred=deferred,
-                ))
+                records.append({
+                    "kind": "import", "target": alias.name,
+                    "name": "", "line": child.lineno, "deferred": deferred,
+                })
         elif isinstance(child, ast.ImportFrom):
             base = _resolve_relative(module.name, child.level, child.module)
             for alias in child.names:
-                # ``from repro.x import y``: y may be a submodule or a
-                # symbol; record the joined candidate when it names a
-                # scanned module, else the base package.
-                joined = f"{base}.{alias.name}" if base else alias.name
-                target = joined if joined in graph.module_names else base
-                graph.edges.append(ImportEdge(
-                    src_module=module.name, target=target,
-                    path=module.relpath, line=child.lineno,
-                    deferred=deferred,
-                ))
+                records.append({
+                    "kind": "from", "target": base,
+                    "name": alias.name, "line": child.lineno,
+                    "deferred": deferred,
+                })
         else:
-            _collect_edges(module, child, child_deferred, graph)
+            _collect_records(module, child, child_deferred, records)
+
+
+def graph_from_records(
+    records_by_module: Dict[str, Tuple[str, List[dict]]],
+    module_names: Sequence[str],
+) -> ImportGraph:
+    """Resolve raw records into an :class:`ImportGraph`.
+
+    ``records_by_module`` maps dotted module name -> (relpath, records).
+    """
+    graph = ImportGraph(module_names=list(module_names))
+    names = set(module_names)
+    for src_module in sorted(records_by_module):
+        relpath, records = records_by_module[src_module]
+        for record in records:
+            if record["kind"] == "import":
+                target = record["target"]
+            else:
+                base = record["target"]
+                # ``from repro.x import y``: y may be a submodule or a
+                # symbol; use the joined candidate when it names a
+                # scanned module, else the base package.
+                joined = (f"{base}.{record['name']}" if base
+                          else record["name"])
+                target = joined if joined in names else base
+            graph.edges.append(ImportEdge(
+                src_module=src_module, target=target,
+                path=relpath, line=record["line"],
+                deferred=record["deferred"],
+            ))
+    return graph
+
+
+def build_import_graph(modules: Sequence[Module]) -> ImportGraph:
+    """Collect every import edge from every module, tagging deferred ones."""
+    records_by_module = {
+        m.name: (m.relpath, collect_import_records(m)) for m in modules
+    }
+    return graph_from_records(records_by_module, [m.name for m in modules])
 
 
 @dataclass

@@ -28,8 +28,9 @@ paths, ``<layer>.<what>[.<unit>]``; wall-clock-derived metrics end in
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "Histogram",
@@ -160,6 +161,24 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
+
+    @contextmanager
+    def suspended(self) -> Iterator["MetricsRegistry"]:
+        """Temporarily disable recording; restore on exit, exception-safe.
+
+        The sanctioned seam for code that must run a sub-computation
+        without observing it (campaign drivers re-running mission jobs
+        inline must not double-count worker-path metrics).  Using this
+        instead of toggling :attr:`enabled` by hand keeps the restore
+        exception-safe and identical across ``--jobs`` modes — which is
+        what the ``worker-shared-state`` lint rule enforces.
+        """
+        was_enabled = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = was_enabled
 
     # -- access ---------------------------------------------------------------
 

@@ -28,8 +28,9 @@ starts disabled.  Hot paths may also hoist ``tracer.enabled`` checks.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 __all__ = [
     "Span",
@@ -294,6 +295,27 @@ class Tracer:
                 "track": self.track,
             }
         )
+
+    @contextmanager
+    def on_track(self, track: Optional[str]) -> Iterator["Tracer"]:
+        """Temporarily switch the active timeline lane; restore on exit.
+
+        The sanctioned seam for code that records a batch of spans on a
+        named lane (campaign drivers routing each cell's mission spans
+        onto ``mission:<cell>`` tracks).  ``track=None`` keeps the
+        current lane, so call sites can pass a conditional without
+        branching.  Using this instead of assigning :attr:`track`
+        directly keeps the restore exception-safe and identical across
+        ``--jobs`` modes — which is what the ``worker-shared-state``
+        lint rule enforces.
+        """
+        previous = self.track
+        if track is not None:
+            self.track = track
+        try:
+            yield self
+        finally:
+            self.track = previous
 
     # -- introspection --------------------------------------------------------
 

@@ -213,17 +213,11 @@ def run_mission_jobs(
         # are suppressed so the campaign aggregate comes exclusively from
         # the collation loop below (identical to the multi-worker path).
         records = []
-        metrics_were_enabled = metrics.enabled
-        metrics.enabled = False
-        prev_track = tracer.track
-        try:
+        with metrics.suspended():
             for job, payload in zip(planned, payloads):
-                if tracer.enabled:
-                    tracer.track = _job_track(job)
-                records.append(_mission_worker(payload))
-        finally:
-            tracer.track = prev_track
-            metrics.enabled = metrics_were_enabled
+                track = _job_track(job) if tracer.enabled else None
+                with tracer.on_track(track):
+                    records.append(_mission_worker(payload))
     if metrics.enabled:
         for record in records:
             metrics.inc("scenarios.mission_jobs")
@@ -387,9 +381,7 @@ def run_scenario_set(
     if metrics.enabled:
         metrics.inc("scenarios.campaigns")
         metrics.inc(f"scenarios.tier_{sset.tier}_scenarios", len(sset))
-    prev_track = tracer.track
-    tracer.track = f"scenarios:tier-{sset.tier}"
-    try:
+    with tracer.on_track(f"scenarios:tier-{sset.tier}"):
         with tracer.span("scenarios.campaign", cat="scenarios",
                          tier=sset.tier, scenarios=len(sset),
                          address=sset.address):
@@ -399,8 +391,6 @@ def run_scenario_set(
             mission_grid = run_mission_jobs(
                 sset, jobs=jobs, telemetry=telemetry
             )
-    finally:
-        tracer.track = prev_track
     return ScenarioCampaignResult(
         address=sset.address,
         tier=sset.tier,

@@ -97,6 +97,7 @@ def _static_for(kernel: str, mix: StaticMix, arch: ArchSpec) -> StaticMix:
     key = (kernel, arch.base_name, mix)
     static = _STATICS.get(key)
     if static is None:
+        # repro: lint-ignore[worker-shared-state] -- idempotent memo of a pure function; racing threads write the identical value
         static = _STATICS[key] = static_profile(kernel, mix, arch)
     return static
 
@@ -105,6 +106,7 @@ def _scalar_for(name: str) -> ScalarType:
     """Memoized scalar-type parse (profiles carry the scalar by name)."""
     scalar = _SCALARS.get(name)
     if scalar is None:
+        # repro: lint-ignore[worker-shared-state] -- idempotent memo of a pure parse; racing threads write the identical value
         scalar = _SCALARS[name] = parse_scalar(name)
     return scalar
 

@@ -39,6 +39,7 @@ def pricing_tables(arch: ArchSpec, scalar: ScalarType) -> ArchTables:
     key = (arch, scalar.name)
     tables = _TABLES.get(key)
     if tables is None:
+        # repro: lint-ignore[worker-shared-state] -- idempotent memo of a pure lowering; racing threads write the identical value
         tables = _TABLES[key] = backend_for(arch).tables_as_arrays(arch, scalar)
     return tables
 

@@ -1,0 +1,8 @@
+"""Fixture violation: ``__all__`` exports a name the module never binds."""
+
+__all__ = ["ghost"]
+
+
+def real():
+    """The only name this module actually defines."""
+    return 1

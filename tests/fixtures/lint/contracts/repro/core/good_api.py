@@ -1,0 +1,8 @@
+"""Fixture clean twin: ``__all__`` matches the module's bindings."""
+
+__all__ = ["real"]
+
+
+def real():
+    """An exported, actually-defined name."""
+    return 1

@@ -1,0 +1,9 @@
+"""Fixture violation: an unpicklable callable mapped over a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def dispatch(jobs):
+    """Map a lambda across pool workers (fails to pickle on spawn)."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda job: job * 2, jobs))

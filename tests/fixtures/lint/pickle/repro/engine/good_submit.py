@@ -1,0 +1,14 @@
+"""Fixture clean twin: a top-level function maps fine over the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def double(job):
+    """Top-level callables pickle by qualified name."""
+    return job * 2
+
+
+def dispatch(jobs):
+    """Map a module-level function across pool workers."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(double, jobs))

@@ -1,0 +1,17 @@
+"""Fixture violation: a pool worker mutating module-global state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+
+
+def work(job):
+    """Record a result worker-side (lost in the parent process)."""
+    _RESULTS[job] = job * 2
+    return job
+
+
+def dispatch(jobs):
+    """Fan jobs out over a process pool."""
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(work, job).result() for job in jobs]

@@ -1,0 +1,18 @@
+"""Fixture clean twin: workers return values, the dispatcher collates."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(job):
+    """Compute and return — no shared state touched."""
+    return job * 2
+
+
+def dispatch(jobs):
+    """Collate worker results on the dispatcher side."""
+    out = {}
+    with ProcessPoolExecutor() as pool:
+        futures = [(job, pool.submit(work, job)) for job in jobs]
+    for job, future in futures:
+        out[job] = future.result()
+    return out

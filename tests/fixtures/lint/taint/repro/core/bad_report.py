@@ -1,0 +1,10 @@
+"""Fixture violation: transitively wall-clock-tainted serialized output."""
+
+import json
+
+from repro.core.mid import helper
+
+
+def emit():
+    """Serialize a report whose field is two calls from time.time()."""
+    return json.dumps({"t": helper()})

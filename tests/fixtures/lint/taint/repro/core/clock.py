@@ -1,0 +1,8 @@
+"""Fixture: a wall-clock taint source two hops from the sink."""
+
+import time
+
+
+def stamp():
+    """Return a wall-clock reading (the taint source)."""
+    return time.time()

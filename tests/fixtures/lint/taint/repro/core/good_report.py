@@ -1,0 +1,8 @@
+"""Fixture clean twin: the serialized value is caller-supplied data."""
+
+import json
+
+
+def emit(sample):
+    """Serialize a report from an explicit argument — no ambient taint."""
+    return json.dumps({"t": sample + 1.0})

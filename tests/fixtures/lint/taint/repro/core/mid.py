@@ -1,0 +1,8 @@
+"""Fixture: an innocent-looking intermediate hop carrying the taint."""
+
+from repro.core.clock import stamp
+
+
+def helper():
+    """Derive a value from the wall clock (transitively tainted)."""
+    return stamp() + 1.0
