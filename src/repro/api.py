@@ -14,8 +14,10 @@ one module:
   :func:`run_campaign`, :func:`price_batch` (re-price solved profiles on
   any core/cache grid, vectorized by default), and :func:`query`
   (one-shot service query).
-* **Service types** — :class:`ServiceBroker` and the query dataclasses,
-  for callers that hold a broker open across many queries.
+* **Service types** — :class:`ServiceBroker` / :class:`ShardPool`, the
+  query dataclasses with their frozen :class:`QueryOptions`, and the
+  typed :class:`ServiceError` taxonomy, for callers that hold a broker
+  open across many queries (see ``docs/service.md``).
 * **Toolkits** — the fault-report helpers (:func:`build_report`,
   :func:`render_report`, :func:`save_report`, :func:`get_fault`,
   :func:`fault_names`) and the closed-loop building blocks
@@ -40,6 +42,7 @@ from here — enforced by the ``facade-only-imports`` lint rule.
 from __future__ import annotations
 
 import warnings
+from dataclasses import replace as _dc_replace
 from typing import List, Optional, Union
 
 from repro.closedloop import (
@@ -85,9 +88,16 @@ from repro.service import (
     CampaignQuery,
     CharacterizeQuery,
     MissionQuery,
+    QueryOptions,
+    QueryValidationError,
     ServiceBroker,
     ServiceClient,
+    ServiceError,
+    ServiceOverloaded,
     ServiceServer,
+    ServiceTimeout,
+    ShardPool,
+    ShardUnavailable,
     parse_request,
 )
 
@@ -139,9 +149,16 @@ __all__ = [
     "CampaignQuery",
     "CharacterizeQuery",
     "MissionQuery",
+    "QueryOptions",
+    "QueryValidationError",
     "ServiceBroker",
     "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
     "ServiceServer",
+    "ServiceTimeout",
+    "ShardPool",
+    "ShardUnavailable",
     # constants
     "DEFAULT_PORT",
     "MISSION_NAMES",
@@ -295,19 +312,36 @@ def get_arch(name: str):
 
 def query(
     request: Union[dict, CharacterizeQuery, MissionQuery, CampaignQuery],
-    broker: Optional[ServiceBroker] = None,
+    broker: Optional[Union[ServiceBroker, ShardPool]] = None,
     timeout: Optional[float] = None,
+    *,
+    options: Optional[QueryOptions] = None,
 ) -> dict:
     """Answer one benchmark query and return its JSON-ready payload.
 
     ``request`` is a query dataclass or a wire-style dict
     (``{"op": "characterize", "kernel": ..., ...}``).  With ``broker``
-    the query goes through that broker's cache and coalescing; without
-    one a transient broker answers it and shuts down — convenient, but
-    callers with query volume should hold a :class:`ServiceBroker` (or
-    run ``repro serve``) to actually reuse the cache.
+    (a :class:`ServiceBroker` or :class:`ShardPool`) the query goes
+    through that broker's cache and coalescing; without one a transient
+    broker answers it and shuts down — convenient, but callers with
+    query volume should hold a broker (or run ``repro serve``) to
+    actually reuse the cache.
+
+    ``options`` attaches a :class:`QueryOptions` (priority, timeout,
+    cache policy), replacing the old bare ``timeout=`` keyword — which
+    still works, with a one-time DeprecationWarning.
     """
+    if timeout is not None and "query.timeout" not in _warned:
+        _warned.add("query.timeout")
+        warnings.warn(
+            "repro.api.query(timeout=...) is deprecated; pass "
+            "options=QueryOptions(timeout=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     q = parse_request(request) if isinstance(request, dict) else request
+    if options is not None:
+        q = _dc_replace(q, options=options.validated())
     if broker is not None:
         return broker.ask(q, timeout=timeout)
     with ServiceBroker() as transient:

@@ -312,20 +312,23 @@ def _cmd_faults(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
-    from repro.api import EngineOptions, ServiceBroker, ServiceServer
+    from repro.api import EngineOptions, ServiceServer, ShardPool
 
-    broker = ServiceBroker(
+    pool = ShardPool(
         config=HarnessConfig(reps=args.reps, warmup_reps=args.warmup),
         engine_options=EngineOptions(jobs=args.jobs, cache_dir=args.cache_dir),
+        n_shards=args.shards,
         capacity=args.capacity,
-        max_pending=args.max_pending,
+        spill_dir=args.spill_dir,
+        max_inflight=args.max_inflight,
         campaign_jobs=args.jobs,
     )
-    server = ServiceServer(broker, host=args.host, port=args.port)
+    server = ServiceServer(pool, host=args.host, port=args.port)
     host, port = server.address
     try:
         with server:
-            print(f"serving   : {host}:{port} (JSONL over TCP)")
+            print(f"serving   : {host}:{port} (JSONL over TCP, "
+                  f"{args.shards} shard(s))")
             print(f"try       : repro query characterize --kernel mahony "
                   f"--port {port}")
             if args.duration is not None:
@@ -336,7 +339,7 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        broker.close()
+        pool.close()
     print("stopped")
     return 0
 
@@ -371,19 +374,29 @@ def _service_request(args) -> dict:
 def _cmd_query(args) -> int:
     import json
 
-    from repro.api import ServiceClient, query
+    from repro.api import QueryOptions, ServiceClient, ServiceError, query
+    from repro.service.errors import error_record
 
     request = _service_request(args)
+    options = QueryOptions(priority=args.priority, timeout=args.timeout)
     if args.local:
         if args.op in ("ping", "stats"):
             print(f"--local answers benchmark queries, not {args.op}",
                   file=sys.stderr)
             return 2
-        payload = query(request, timeout=args.timeout)
+        payload = query(request, options=options)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
-        response = client.query(request)
+        if args.op in ("ping", "stats"):
+            response = client.query(request)
+        else:
+            try:
+                response = client.ask_with_retry(
+                    request, options=options, retries=args.retries
+                )
+            except ServiceError as exc:
+                response = {"ok": False, "error": error_record(exc)}
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("ok") else 1
 
@@ -581,7 +594,16 @@ def _add_serve_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--capacity", type=int, default=1024,
                    help="in-memory answer-cache entries (LRU beyond)")
     p.add_argument("--max-pending", type=int, default=256,
-                   help="bounded submission queue (backpressure)")
+                   help="(legacy) bounded submission queue; superseded "
+                        "by --max-inflight admission control")
+    p.add_argument("--shards", type=int, default=1,
+                   help="broker shards partitioned by content address")
+    p.add_argument("--spill-dir", default=None,
+                   help="L2 directory: answers evicted from the "
+                        "in-memory LRU spill here instead of vanishing")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="per-shard admitted-query bound; beyond it, "
+                        "queries shed with a retry_after hint")
     p.add_argument("--duration", type=float, default=None,
                    help="serve for N seconds then exit (default: forever)")
 
@@ -618,6 +640,12 @@ def _add_query_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--port", type=int, default=DEFAULT_PORT)
     p.add_argument("--timeout", type=float, default=120.0,
                    help="seconds to wait for the answer")
+    p.add_argument("--priority", default="interactive",
+                   choices=("interactive", "batch"),
+                   help="admission priority (batch sheds first under load)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retries with backoff when the service sheds "
+                        "the query as overloaded")
     p.add_argument("--local", action="store_true",
                    help="answer in-process (no server needed)")
 

@@ -28,6 +28,7 @@ paths, ``<layer>.<what>[.<unit>]``; wall-clock-derived metrics end in
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -138,6 +139,9 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Recording is read-modify-write; the service's shard dispatchers
+        # increment one shared registry from N threads, so updates lock.
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
@@ -145,22 +149,25 @@ class MetricsRegistry:
         """Add ``value`` to counter ``name`` (creating it at 0)."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         if not self.enabled:
             return
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Add ``value`` to histogram ``name`` (creating it empty)."""
         if not self.enabled:
             return
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
 
     @contextmanager
     def suspended(self) -> Iterator["MetricsRegistry"]:

@@ -71,9 +71,43 @@ class _Ticket:
     key: str
     kind: str
     submitted_s: float
+    priority: str = "interactive"
     done: threading.Event = field(default_factory=threading.Event)
     payload: Optional[dict] = None
     error: Optional[BaseException] = None
+    callbacks: List[Callable[["_Ticket"], None]] = field(default_factory=list)
+
+    def add_done_callback(self, fn: Callable[["_Ticket"], None]) -> None:
+        """Run ``fn(ticket)`` once the answer (or error) lands.
+
+        Runs immediately when the ticket is already done; otherwise at
+        delivery time on the dispatcher thread.  The asyncio front-end
+        and the shard pool's admission release both hang off this hook.
+        """
+        if self.done.is_set():
+            fn(self)
+            return
+        self.callbacks.append(fn)
+        if self.done.is_set():
+            # Delivery raced in between the check and the append; claim
+            # the callback back unless the dispatcher already drained it.
+            try:
+                self.callbacks.remove(fn)
+            except ValueError:
+                return
+            fn(self)
+
+    def finish(
+        self,
+        payload: Optional[dict] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Deliver the answer: set state, wake waiters, drain callbacks."""
+        self.payload = payload
+        self.error = error
+        self.done.set()
+        while self.callbacks:
+            self.callbacks.pop(0)(self)
 
 
 class ServiceBroker:
@@ -91,6 +125,10 @@ class ServiceBroker:
         max_pending: Bound of the submission queue — the backpressure
             knob; submitters block while it is full.
         campaign_jobs: Process-pool width handed to campaign queries.
+        cache: Answer cache to use instead of building a private
+            :class:`ResultCache` — a :class:`ShardPool` passes one
+            shared (possibly tiered) cache to every shard's broker.
+        name: Dispatcher-thread suffix, for debuggability in pools.
     """
 
     def __init__(
@@ -101,6 +139,8 @@ class ServiceBroker:
         capacity: int = 1024,
         max_pending: int = 256,
         campaign_jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        name: str = "",
     ):
         self.config = (config if config is not None else HarnessConfig()).validated()
         self.overrides = dict(overrides or {})
@@ -109,12 +149,14 @@ class ServiceBroker:
             options = replace(options, trace_cache=options.make_cache())
         self.options = options
         self.campaign_jobs = campaign_jobs
-        self.cache = ResultCache(capacity)
+        self.cache = cache if cache is not None else ResultCache(capacity)
         self._pending: "queue.Queue" = queue.Queue(maxsize=max_pending)
         self._closed = threading.Event()
         self._batches = 0
         self._thread = threading.Thread(
-            target=self._serve, name="repro-service-dispatcher", daemon=True
+            target=self._serve,
+            name=f"repro-service-dispatcher{name}",
+            daemon=True,
         )
         self._thread.start()
 
@@ -130,11 +172,27 @@ class ServiceBroker:
         if self._closed.is_set():
             raise BrokerClosed("broker is closed")
         query = query.validated()
+        return self.submit_prevalidated(
+            query, query_key(query, self.config), query_kind(query)
+        )
+
+    def submit_prevalidated(
+        self, query: Query, key: str, kind: str
+    ) -> _Ticket:
+        """Enqueue a query whose validation and key are already done.
+
+        The shard-pool path: the pool validates once, computes the
+        content address once (it needs the key to route), admits the
+        query, then hands it straight to the owning shard's queue.
+        """
+        if self._closed.is_set():
+            raise BrokerClosed("broker is closed")
         ticket = _Ticket(
             query=query,
-            key=query_key(query, self.config),
-            kind=query_kind(query),
+            key=key,
+            kind=kind,
             submitted_s=perf_counter(),
+            priority=query.options.priority,
         )
         self._pending.put(ticket)
         return ticket
@@ -150,7 +208,14 @@ class ServiceBroker:
         return ticket.payload
 
     def ask(self, query: Query, timeout: Optional[float] = None) -> dict:
-        """Submit one query and block for its answer."""
+        """Submit one query and block for its answer.
+
+        ``timeout`` falls back to the query's own
+        :attr:`~repro.service.queries.QueryOptions.timeout` when omitted
+        — the redesigned options-first spelling of the old keyword.
+        """
+        if timeout is None:
+            timeout = query.options.timeout
         return self.result(self.submit(query), timeout=timeout)
 
     def ask_many(
@@ -211,8 +276,7 @@ class ServiceBroker:
                 except BaseException as exc:  # keep serving after a bad batch
                     for ticket in batch:
                         if not ticket.done.is_set():
-                            ticket.error = exc
-                            ticket.done.set()
+                            ticket.finish(error=exc)
             if closing:
                 self._fail_remaining()
                 return
@@ -226,8 +290,7 @@ class ServiceBroker:
                 return
             if ticket is _CLOSE:
                 continue
-            ticket.error = BrokerClosed("broker is closed")
-            ticket.done.set()
+            ticket.finish(error=BrokerClosed("broker is closed"))
 
     def _run_batch(self, batch: List[_Ticket]) -> None:
         """Coalesce one drained batch, solve its distinct misses, deliver."""
@@ -236,13 +299,22 @@ class ServiceBroker:
         self._batches += 1
         dispatched_s = perf_counter()
 
+        # Interactive work goes first within the batch (stable sort:
+        # arrival order is preserved within each priority class).
+        # Answers are per-cell pure, so ordering cannot change bytes —
+        # only who waits behind whom.
+        batch = sorted(
+            batch, key=lambda t: 0 if t.priority == "interactive" else 1
+        )
+
         # Coalesce: group tickets by content address, preserving batch
-        # order; answer distinct keys from the cache where possible.
+        # order; answer distinct keys from the cache tiers where the
+        # key's cache policy allows a read.
         waiters: Dict[str, List[_Ticket]] = {}
         to_solve: List[_Ticket] = []
         answered: Dict[str, dict] = {}
         failed: Dict[str, BaseException] = {}
-        hits = misses = coalesced = 0
+        hits = misses = coalesced = l1_hits = l2_hits = 0
         for ticket in batch:
             if metrics.enabled:
                 metrics.observe(
@@ -254,13 +326,25 @@ class ServiceBroker:
                 hits += 1
                 continue
             waiters[ticket.key] = [ticket]
-            cached = self.cache.get(ticket.key)
+            if ticket.query.options.cache == "use":
+                cached, tier = self.cache.get_tiered(ticket.key)
+            else:  # bypass / refresh skip the answer-cache read
+                cached, tier = None, None
             if cached is not None:
                 answered[ticket.key] = cached
                 hits += 1
+                if tier == "l1":
+                    l1_hits += 1
+                elif tier == "l2":
+                    l2_hits += 1
             else:
                 to_solve.append(ticket)
                 misses += 1
+
+        # L3 accounting: how many solve profiles the engine's trace
+        # cache served during this batch's solving.
+        trace_stats = getattr(self.options.trace_cache, "stats", None)
+        l3_before = trace_stats.hits if trace_stats is not None else 0
 
         with tracer.span(
             "service.batch", cat="service", queries=len(batch),
@@ -277,10 +361,11 @@ class ServiceBroker:
                     self._solve_one(ticket, answered, failed,
                                     self._answer_campaign)
 
-        # Cache fresh answers and deliver to every waiter, in batch order.
+        # Cache fresh answers (unless the asking ticket said bypass) and
+        # deliver to every waiter, in batch order.
         for ticket in to_solve:
             payload = answered.get(ticket.key)
-            if payload is not None:
+            if payload is not None and ticket.query.options.cache != "bypass":
                 self.cache.put(ticket.key, payload)
         for key, tickets in waiters.items():
             payload = answered.get(key)
@@ -288,14 +373,16 @@ class ServiceBroker:
             if payload is None and error is None:
                 error = RuntimeError(f"query {key} produced no answer")
             for ticket in tickets:
-                ticket.payload = payload
-                ticket.error = error
-                ticket.done.set()
+                ticket.finish(payload=payload, error=error)
 
         if metrics.enabled:
+            l3_after = trace_stats.hits if trace_stats is not None else 0
             metrics.inc("service.queries", len(batch))
             metrics.inc("service.hits", hits)
             metrics.inc("service.misses", misses)
+            metrics.inc("service.l1_hits", l1_hits)
+            metrics.inc("service.l2_hits", l2_hits)
+            metrics.inc("service.l3_hits", l3_after - l3_before)
             metrics.inc("service.coalesced", coalesced)
             metrics.inc("service.batches")
             metrics.inc("service.errors", len(failed))

@@ -1,23 +1,40 @@
-"""In-memory LRU cache over answered query payloads.
+"""The answer-cache tiers: in-memory LRU (L1) and its disk spill (L2).
 
-The service-side tier of the two-tier cache: the engine's trace cache
-persists *solve profiles* (the expensive kernel compute) across
-processes, while this cache holds finished *answers* (JSON-ready
-payloads) within the serving process, keyed by the same content-address
-scheme (:func:`repro.service.queries.query_key`).  A repeat query is a
-dictionary move-to-front, never a re-price.
+The service read path is three tiers deep (see ``docs/service.md``):
 
-Thread-safe: client threads read stats while the dispatcher thread
-inserts, so every access takes the internal lock.  Payloads are treated
-as immutable once inserted — the broker hands the same dict to every
-waiter, which is safe precisely because nothing mutates answers.
+* **L1** — :class:`ResultCache`, a bounded in-memory LRU of finished
+  *answers* (JSON-ready payloads) keyed by content address
+  (:func:`repro.service.queries.query_key`).  A repeat query is a
+  dictionary move-to-front, never a re-price.
+* **L2** — :class:`SpillCache`: answers evicted from L1 spill to disk
+  in the trace-cache directory format (one ``<key>.json`` per entry,
+  atomic tempfile + ``os.replace`` writes), so a cold L1 still answers
+  from a file read instead of a solve.  :class:`TieredResultCache`
+  wires L1 eviction → L2 spill and L2 hit → L1 promotion together.
+* **L3** — the engine's :class:`~repro.engine.trace_cache.TraceCache`
+  of *solve profiles* (the expensive kernel compute); an L1+L2 miss
+  that still hits L3 re-prices a cached solve instead of re-solving.
+
+Thread-safe: client threads read stats while dispatcher threads insert
+(a shard pool shares one tiered cache across shards), so every access
+takes the internal lock.  Payloads are treated as immutable once
+inserted — the broker hands the same dict to every waiter, which is
+safe precisely because nothing mutates answers.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Bumped when the spill-file envelope changes; mismatched entries are
+#: treated as misses, exactly like the trace cache's format version.
+SPILL_FORMAT_VERSION = 1
 
 
 class ResultCache:
@@ -50,13 +67,33 @@ class ResultCache:
             return payload
 
     def put(self, key: str, payload: dict) -> None:
-        """Insert ``payload`` under ``key``, evicting the LRU overflow."""
+        """Insert ``payload`` under ``key``, evicting the LRU overflow.
+
+        Evicted entries are handed to :meth:`_on_evict` *outside* the
+        lock (the hook may do file I/O), which is how the tiered
+        subclass spills them to disk.
+        """
+        evicted = []
         with self._lock:
             self._entries[key] = payload
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False))
                 self.evictions += 1
+        for old_key, old_payload in evicted:
+            self._on_evict(old_key, old_payload)
+
+    def _on_evict(self, key: str, payload: dict) -> None:
+        """Eviction hook; the base cache just forgets the entry."""
+
+    def get_tiered(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """Look ``key`` up across tiers: ``(payload, tier)`` or ``(None, None)``.
+
+        The base cache has only one tier, so the tier tag is ``"l1"``
+        on a hit.  :class:`TieredResultCache` extends the walk to L2.
+        """
+        payload = self.get(key)
+        return (payload, "l1") if payload is not None else (None, None)
 
     def __len__(self) -> int:
         """Number of currently cached answers."""
@@ -80,3 +117,141 @@ class ResultCache:
                 "evictions": self.evictions,
                 "hit_rate": (self.hits / total) if total else 0.0,
             }
+
+
+class SpillCache:
+    """The on-disk L2 tier: one ``<key>.json`` file per spilled answer.
+
+    Mirrors the trace-cache directory format — content-address filename,
+    versioned JSON envelope, atomic tempfile + ``os.replace`` writes so
+    concurrent spills and torn writes can never corrupt an entry.  A
+    torn, foreign, or version-mismatched file is simply a miss.
+
+    Args:
+        spill_dir: Directory for spilled entries (created on demand).
+    """
+
+    def __init__(self, spill_dir):
+        self.spill_dir = Path(spill_dir)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> Path:
+        """The spill file owning ``key``."""
+        return self.spill_dir / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The spilled payload for ``key``, or None on any kind of miss."""
+        try:
+            raw = self._path(key).read_text(encoding="utf-8")
+            entry = json.loads(raw)
+            if (
+                entry.get("spill_version") != SPILL_FORMAT_VERSION
+                or entry.get("key") != key
+            ):
+                raise ValueError("foreign or stale spill entry")
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError):
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Spill ``payload`` under ``key`` with an atomic replace."""
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "spill_version": SPILL_FORMAT_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.spill_dir), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.puts += 1
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching hit/miss counts."""
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        """Number of spilled entries on disk."""
+        if not self.spill_dir.is_dir():
+            return 0
+        return len([p for p in self.spill_dir.iterdir()
+                    if p.suffix == ".json"])
+
+    def as_dict(self) -> dict:
+        """JSON-friendly stats snapshot."""
+        with self._lock:
+            return {
+                "dir": str(self.spill_dir),
+                "entries": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+            }
+
+
+class TieredResultCache(ResultCache):
+    """L1 LRU + L2 disk spill, wired eviction-down / promotion-up.
+
+    Evictions from the bounded in-memory tier spill to ``spill_dir``
+    instead of vanishing; an L1 miss re-checks the spill and, on a hit,
+    promotes the answer back into L1 (possibly spilling something else
+    — the tiers stay complementary).  Shared by every shard of a
+    :class:`~repro.service.shard.ShardPool`, so an answer evicted under
+    one shard's pressure is still one file read away for all of them.
+
+    Args:
+        capacity: L1 entries retained in memory.
+        spill_dir: Directory for the L2 spill files.
+    """
+
+    def __init__(self, capacity: int = 1024, spill_dir=None):
+        super().__init__(capacity)
+        if spill_dir is None:
+            raise ValueError("TieredResultCache requires a spill_dir")
+        self.spill = SpillCache(spill_dir)
+        self.l2_promotions = 0
+
+    def _on_evict(self, key: str, payload: dict) -> None:
+        """Spill an evicted L1 entry to the L2 directory."""
+        self.spill.put(key, payload)
+
+    def get_tiered(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """Walk L1 then L2; promote L2 hits back into L1."""
+        payload = self.get(key)
+        if payload is not None:
+            return payload, "l1"
+        payload = self.spill.get(key)
+        if payload is None:
+            return None, None
+        self.put(key, payload)
+        with self._lock:
+            self.l2_promotions += 1
+        return payload, "l2"
+
+    def as_dict(self) -> dict:
+        """L1 stats plus an ``l2`` section (spill stats + promotions)."""
+        stats = super().as_dict()
+        l2 = self.spill.as_dict()
+        with self._lock:
+            l2["promotions"] = self.l2_promotions
+        stats["l2"] = l2
+        return stats

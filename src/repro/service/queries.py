@@ -16,9 +16,18 @@ profiles.  Two queries with equal keys are the same question by
 construction, which is what lets the broker coalesce them into a single
 solve and answer both from one cache entry.
 
+Every query also carries a frozen :class:`QueryOptions` — priority,
+fidelity placeholder, timeout, cache policy — replacing the ad-hoc
+keyword arguments that used to ride alongside queries.  Options are
+*execution* hints, not part of the question: :func:`query_key` strips
+them, so an interactive and a batch ask of the same cell share one
+content address, coalesce into one solve, and hit the same cache entry.
+
 :func:`parse_request` / :func:`request_of` translate between queries and
 the JSONL wire dicts the ``repro serve`` server and ``repro query``
-client exchange.
+client exchange.  Requests may carry a version envelope (``"v": 2``
+plus an ``"options"`` object); bare v1 requests parse unchanged, so
+old clients keep working (see ``docs/service.md`` for the envelope).
 """
 
 from __future__ import annotations
@@ -34,10 +43,30 @@ from repro.core.config import HarnessConfig
 from repro.faults import FaultCampaignSpec
 from repro.backends import arch_names
 from repro.mcu.cache import CACHE_OFF, CACHE_ON, CacheConfig
+from repro.service.errors import QueryValidationError
 
 #: Bumped when the payload schema changes: a version bump invalidates
 #: every cached answer, exactly like the trace cache's format version.
 SERVICE_FORMAT_VERSION = 1
+
+#: Version of the request/response *envelope* (separate from the payload
+#: format above, which participates in content addresses).  v1 is the
+#: bare ``{"op": ...}`` request with string errors; v2 adds the
+#: ``"v"``/``"options"`` fields and structured error records.
+WIRE_VERSION = 2
+
+#: Priorities admission control understands, best first.
+PRIORITIES = ("interactive", "batch")
+
+#: Answer fidelities.  Only ``exact`` is implemented; ``approx`` is the
+#: reserved name for the ROADMAP's learned fast-path predictor, rejected
+#: for now with a message that says so.
+FIDELITIES = ("exact",)
+
+#: L1 answer-cache policies: ``use`` reads and writes, ``bypass`` skips
+#: both (always re-derive, never pollute), ``refresh`` skips the read
+#: but writes the fresh answer back.
+CACHE_POLICIES = ("use", "bypass", "refresh")
 
 #: Cache label -> the :class:`~repro.mcu.cache.CacheConfig` it names.
 CACHE_OF_LABEL = {CACHE_ON.label: CACHE_ON, CACHE_OFF.label: CACHE_OFF}
@@ -52,12 +81,101 @@ def _check_arch(arch: str) -> None:
 
 
 @dataclass(frozen=True)
+class QueryOptions:
+    """How to run a query — priority, fidelity, deadline, cache policy.
+
+    Frozen and hashable, attached to every query as its ``options``
+    field.  Never part of the content address: two asks of the same
+    question with different options share one cache entry and coalesce
+    into one solve.
+
+    Attributes:
+        priority: ``interactive`` (default) or ``batch``.  Batch work is
+            shed first under admission pressure and sorted behind
+            interactive work within a dispatcher batch.
+        fidelity: ``exact`` (the only implemented tier); ``approx`` is
+            reserved for the learned fast-path predictor.
+        timeout: Client-side answer deadline in seconds (None = wait
+            forever).  Enforced by :meth:`ServiceBroker.ask` locally and
+            by :class:`~repro.service.server.ServiceClient` remotely.
+        cache: L1 answer-cache policy — ``use`` / ``bypass`` /
+            ``refresh`` (see :data:`CACHE_POLICIES`).
+    """
+
+    priority: str = "interactive"
+    fidelity: str = "exact"
+    timeout: "float | None" = None
+    cache: str = "use"
+
+    def validated(self) -> "QueryOptions":
+        """Return self after checking every knob names a known setting."""
+        if self.priority not in PRIORITIES:
+            raise QueryValidationError(
+                f"unknown priority {self.priority!r}; "
+                f"available: {list(PRIORITIES)}"
+            )
+        if self.fidelity not in FIDELITIES:
+            hint = (
+                " ('approx' is reserved for the learned predictor tier)"
+                if self.fidelity == "approx" else ""
+            )
+            raise QueryValidationError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"available: {list(FIDELITIES)}{hint}"
+            )
+        if self.cache not in CACHE_POLICIES:
+            raise QueryValidationError(
+                f"unknown cache policy {self.cache!r}; "
+                f"available: {list(CACHE_POLICIES)}"
+            )
+        if self.timeout is not None and not float(self.timeout) > 0:
+            raise QueryValidationError(
+                f"timeout must be positive or None, got {self.timeout!r}"
+            )
+        return self
+
+    def as_wire(self) -> dict:
+        """Wire form: only the fields that differ from the defaults."""
+        wire = {}
+        for name, default in _OPTION_DEFAULTS.items():
+            value = getattr(self, name)
+            if value != default:
+                wire[name] = value
+        return wire
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "QueryOptions":
+        """Build validated options from a wire ``"options"`` object."""
+        unknown = sorted(set(data) - set(_OPTION_DEFAULTS))
+        if unknown:
+            raise QueryValidationError(
+                f"unknown option field(s) {unknown}; "
+                f"available: {sorted(_OPTION_DEFAULTS)}"
+            )
+        timeout = data.get("timeout")
+        return cls(
+            priority=data.get("priority", "interactive"),
+            fidelity=data.get("fidelity", "exact"),
+            timeout=None if timeout is None else float(timeout),
+            cache=data.get("cache", "use"),
+        ).validated()
+
+
+#: The shared default options instance every query starts from.
+DEFAULT_OPTIONS = QueryOptions()
+
+#: Option field -> its default, for wire minimization and validation.
+_OPTION_DEFAULTS = asdict(DEFAULT_OPTIONS)
+
+
+@dataclass(frozen=True)
 class CharacterizeQuery:
     """One sweep datacell: price ``kernel`` on ``arch`` under ``cache``."""
 
     kernel: str
     arch: str = "m33"
     cache: str = "C"
+    options: QueryOptions = DEFAULT_OPTIONS
 
     def validated(self) -> "CharacterizeQuery":
         """Return self after checking every coordinate is registered."""
@@ -72,6 +190,7 @@ class CharacterizeQuery:
                 f"unknown cache label {self.cache!r}; "
                 f"available: {sorted(CACHE_OF_LABEL)}"
             )
+        self.options.validated()
         return self
 
     def cache_config(self) -> CacheConfig:
@@ -85,11 +204,13 @@ class MissionQuery:
 
     mission: str = "hover"
     arch: str = "m33"
+    options: QueryOptions = DEFAULT_OPTIONS
 
     def validated(self) -> "MissionQuery":
         """Return self after checking mission and core are registered."""
         MissionSpec(mission=self.mission, arch=self.arch).validated()
         _check_arch(self.arch)
+        self.options.validated()
         return self
 
 
@@ -98,6 +219,7 @@ class CampaignQuery:
     """Score one fault campaign; the spec is the query, verbatim."""
 
     spec: FaultCampaignSpec
+    options: QueryOptions = DEFAULT_OPTIONS
 
     def validated(self) -> "CampaignQuery":
         """Return self after checking the campaign's coordinates."""
@@ -108,6 +230,7 @@ class CampaignQuery:
             _check_arch(arch)
         for mission in self.spec.missions:
             MissionSpec(mission=mission).validated()
+        self.options.validated()
         return self
 
 
@@ -137,13 +260,20 @@ def query_key(query: Query, config: HarnessConfig = None) -> str:
     separator-free) JSON, sha256, 32 hex characters.  The harness config
     participates because it changes characterize answers (reps, warmup,
     gap); including it uniformly keeps one code path for every kind.
+
+    :class:`QueryOptions` are deliberately excluded — options say *how*
+    to run the question, not *what* it is, so every options combination
+    of one query maps to the same address (and the key stays identical
+    to the pre-options format, preserving old spill/cache entries).
     """
     config = config if config is not None else HarnessConfig()
+    fields = asdict(query)
+    fields.pop("options", None)
     payload = json.dumps(
         {
             "service_version": SERVICE_FORMAT_VERSION,
             "kind": query_kind(query),
-            "query": asdict(query),
+            "query": fields,
             "config": asdict(config),
         },
         sort_keys=True, separators=(",", ":"),
@@ -178,20 +308,32 @@ def parse_request(request: dict) -> Query:
 
     The request's ``op`` selects the query type; remaining fields map to
     dataclass fields with the dataclass defaults applying when omitted.
-    Raises ``KeyError``/``ValueError`` with an actionable message on
-    unknown ops, kernels, archs, missions, faults, or cache labels.
+    A ``"v": 2`` envelope may add an ``"options"`` object
+    (:meth:`QueryOptions.from_wire`); bare v1 requests get default
+    options.  Raises ``KeyError``/``ValueError`` with an actionable
+    message on unknown ops, versions, kernels, archs, missions, faults,
+    cache labels, or option fields.
     """
+    version = request.get("v", 1)
+    if version not in (1, WIRE_VERSION):
+        raise QueryValidationError(
+            f"unsupported wire version {version!r}; "
+            f"this server speaks v1 and v{WIRE_VERSION}"
+        )
+    options = QueryOptions.from_wire(request.get("options") or {})
     op = request.get("op")
     if op == "characterize":
         return CharacterizeQuery(
             kernel=request["kernel"],
             arch=request.get("arch", "m33"),
             cache=request.get("cache", "C"),
+            options=options,
         ).validated()
     if op == "mission":
         return MissionQuery(
             mission=request.get("mission", "hover"),
             arch=request.get("arch", "m33"),
+            options=options,
         ).validated()
     if op == "campaign":
         spec = FaultCampaignSpec(
@@ -204,7 +346,7 @@ def parse_request(request: dict) -> Query:
             reps=int(request.get("reps", 1)),
             warmup=int(request.get("warmup", 0)),
         )
-        return CampaignQuery(spec=spec).validated()
+        return CampaignQuery(spec=spec, options=options).validated()
     raise ValueError(
         f"unknown op {op!r}; expected one of "
         "('characterize', 'mission', 'campaign', 'ping', 'stats')"
@@ -212,7 +354,13 @@ def parse_request(request: dict) -> Query:
 
 
 def request_of(query: Query) -> dict:
-    """The JSONL wire request describing ``query`` (parse_request inverse)."""
+    """The JSONL wire request describing ``query`` (parse_request inverse).
+
+    Emits the minimal envelope: default options produce a bare v1
+    request (byte-identical to the pre-envelope format, so old servers
+    stay addressable); non-default options add ``"v": 2`` and an
+    ``"options"`` object.
+    """
     kind = query_kind(query)
     if isinstance(query, CampaignQuery):
         fields = asdict(query.spec)
@@ -222,4 +370,10 @@ def request_of(query: Query) -> dict:
         fields["archs"] = list(fields["archs"])
     else:
         fields = asdict(query)
-    return {"op": kind, **fields}
+        fields.pop("options", None)
+    request = {"op": kind, **fields}
+    wire_options = query.options.as_wire()
+    if wire_options:
+        request["v"] = WIRE_VERSION
+        request["options"] = wire_options
+    return request

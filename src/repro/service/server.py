@@ -4,14 +4,17 @@ Wire protocol — one JSON object per line, both directions:
 
 * request: ``{"op": "characterize", "kernel": "mahony", "arch": "m33"}``
   (any :func:`repro.service.queries.parse_request` op, plus ``ping`` and
-  ``stats``).
-* response: ``{"ok": true, ...answer payload...}`` or
-  ``{"ok": false, "error": "<message>"}``.
+  ``stats``), optionally wrapped in the v2 envelope — ``"v": 2`` plus an
+  ``"options"`` object (priority / timeout / cache policy).
+* response: ``{"ok": true, ...answer payload...}`` or, on failure,
+  ``{"ok": false, "error": "<message>"}`` for v1 requests and
+  ``{"v": 2, "ok": false, "error": {"code", "message", "retry_after",
+  "type"}}`` for v2 (see :mod:`repro.service.errors`).
 
-The server is a ``ThreadingTCPServer`` bound to localhost by default:
-each connection gets a handler thread that parses lines and blocks on
-:meth:`~repro.service.broker.ServiceBroker.ask` — so concurrency,
-coalescing, and backpressure all live in the broker, and many
+The server is an :class:`~repro.service.aio.AsyncServiceServer` hosted
+in one background thread: connections are event-loop coroutines instead
+of one blocking thread each, while coalescing, sharding, admission, and
+backpressure all live in the broker / shard pool behind it — many
 simultaneous connections asking the same question still cost one solve.
 
 ``repro serve`` runs :class:`ServiceServer`; ``repro query`` uses
@@ -21,88 +24,111 @@ over a socket, e.g. ``nc``).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
-import socketserver
 import threading
-from typing import Optional, Tuple
+import time
+from typing import Optional, Tuple, Union
 
-from repro.service.broker import ServiceBroker
-from repro.service.queries import parse_request
+from repro.service.aio import AsyncServiceServer, shape_error, shape_ok
+from repro.service.errors import (
+    ServiceError,
+    ServiceOverloaded,
+    ServiceTimeout,
+    error_from_record,
+)
+from repro.service.queries import (
+    Query,
+    QueryOptions,
+    WIRE_VERSION,
+    parse_request,
+    request_of,
+)
 
 #: Default TCP port for ``repro serve`` / ``repro query``.
 DEFAULT_PORT = 7453
 
 
-class _QueryHandler(socketserver.StreamRequestHandler):
-    """One connection: read request lines, write response lines."""
+class ServiceServer:
+    """Serve a broker or shard pool over line-delimited JSON on TCP.
 
-    def handle(self) -> None:
-        for raw in self.rfile:
-            line = raw.decode("utf-8").strip()
-            if not line:
-                continue
-            response = self.server.answer_line(line)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
-
-
-class ServiceServer(socketserver.ThreadingTCPServer):
-    """Serve one broker over line-delimited JSON on a local TCP socket.
+    A synchronous shell around :class:`AsyncServiceServer`: the
+    constructor binds the socket eagerly (so :attr:`address` is valid
+    immediately), :meth:`start` runs the event loop in a background
+    thread, :meth:`stop` shuts it down and joins.  The ``repro serve``
+    command and the context-manager surface are unchanged from the
+    thread-per-connection original.
 
     Args:
-        broker: The answering :class:`ServiceBroker`.
+        broker: The answering :class:`~repro.service.broker.ServiceBroker`
+            or :class:`~repro.service.shard.ShardPool`.
         host: Bind address; keep the localhost default unless you mean
             to expose the service.
         port: Bind port; 0 picks a free ephemeral port (read it back
             from :attr:`address`).
     """
 
-    allow_reuse_address = True
-    daemon_threads = True
-
-    def __init__(self, broker: ServiceBroker, host: str = "127.0.0.1",
-                 port: int = 0):
+    def __init__(self, broker, host: str = "127.0.0.1", port: int = 0):
         self.broker = broker
+        self._aio = AsyncServiceServer(broker, host=host, port=port)
         self._thread: Optional[threading.Thread] = None
-        super().__init__((host, port), _QueryHandler)
 
     @property
     def address(self) -> Tuple[str, int]:
         """The actually bound (host, port) pair."""
-        return self.server_address[0], self.server_address[1]
+        return self._aio.address
 
     def answer_line(self, line: str) -> dict:
-        """Answer one request line; errors become ``ok: false`` responses."""
+        """Answer one request line synchronously (no event loop needed).
+
+        The library-embedding seam: same parsing, versioning, and error
+        shaping as the served path, but blocking — callers that hold a
+        broker directly can answer wire lines without starting a server.
+        """
+        version = 1
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
+            raw_version = request.get("v", 1)
+            version = raw_version if isinstance(raw_version, int) else 1
             op = request.get("op")
             if op == "ping":
-                return {"ok": True, "pong": True}
+                return shape_ok(version, {"pong": True})
             if op == "stats":
-                return {"ok": True, "stats": self.broker.stats()}
+                return shape_ok(version, {"stats": self.broker.stats()})
             payload = self.broker.ask(parse_request(request))
-            return {"ok": True, **payload}
+            return shape_ok(version, payload)
         except Exception as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            return shape_error(version, exc)
 
     def start(self) -> Tuple[str, int]:
         """Serve in a background thread; returns the bound address."""
         self._thread = threading.Thread(
-            target=self.serve_forever, name="repro-service-server", daemon=True
+            target=self._run_loop, name="repro-service-server", daemon=True
         )
         self._thread.start()
         return self.address
 
+    def _run_loop(self) -> None:
+        """Thread body: run the asyncio server until stop is requested."""
+        asyncio.run(self._aio.serve())
+
     def stop(self) -> None:
-        """Stop serving and join the server thread (broker left running)."""
-        self.shutdown()
-        self.server_close()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        """Stop serving and join the server thread (broker left running).
+
+        Safe to call before :meth:`start` (just closes the socket) and
+        robust to the start/stop race: keeps requesting shutdown until
+        the loop thread actually exits.
+        """
+        if self._thread is None:
+            self._aio.close_socket()
+            return
+        while self._thread.is_alive():
+            self._aio.request_stop()
+            self._thread.join(0.05)
+        self._thread = None
 
     def __enter__(self) -> "ServiceServer":
         """Context-manager entry: start serving in the background."""
@@ -120,21 +146,100 @@ class ServiceClient:
     Args:
         host: Server address.
         port: Server port.
-        timeout: Socket timeout in seconds for connect and replies.
+        timeout: Default socket timeout in seconds for connect and
+            replies; :meth:`query` and :meth:`ask` can override it
+            per call, so a dead server raises instead of hanging a
+            blocking ``recv`` forever.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  timeout: float = 60.0):
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._rfile = self._sock.makefile("r", encoding="utf-8")
 
-    def query(self, request: dict) -> dict:
-        """Send one request dict, return the decoded response dict."""
-        self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
-        line = self._rfile.readline()
+    def query(self, request: dict, timeout: Optional[float] = None) -> dict:
+        """Send one raw request dict, return the decoded response dict.
+
+        ``timeout`` overrides the connection default for this exchange
+        only; expiry raises :class:`ServiceTimeout` (the connection is
+        left in an indeterminate mid-reply state — reconnect after).
+        """
+        effective = self._timeout if timeout is None else timeout
+        self._sock.settimeout(effective)
+        try:
+            self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            line = self._rfile.readline()
+        except socket.timeout:
+            raise ServiceTimeout(
+                f"no response within {effective}s"
+            ) from None
+        finally:
+            self._sock.settimeout(self._timeout)
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
+
+    def ask(
+        self,
+        request: Union[dict, Query],
+        options: Optional[QueryOptions] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Send one query in the v2 envelope; raise typed errors.
+
+        Accepts a raw request dict or a query dataclass.  ``options``
+        (when given) ride in the envelope's ``"options"`` object; the
+        socket deadline defaults to ``options.timeout``.  Failures
+        re-raise the server's typed class
+        (:func:`repro.service.errors.error_from_record`) instead of
+        handing back an ``ok: false`` dict.
+        """
+        wire = dict(request) if isinstance(request, dict) else request_of(request)
+        wire["v"] = WIRE_VERSION
+        if options is not None:
+            merged = dict(wire.get("options") or {})
+            merged.update(options.validated().as_wire())
+            if merged:
+                wire["options"] = merged
+        if timeout is None and options is not None:
+            timeout = options.timeout
+        response = self.query(wire, timeout=timeout)
+        if response.get("ok"):
+            return response
+        error = response.get("error")
+        if isinstance(error, dict):
+            raise error_from_record(error)
+        raise ServiceError(str(error))
+
+    def ask_with_retry(
+        self,
+        request: Union[dict, Query],
+        options: Optional[QueryOptions] = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """:meth:`ask`, retrying shed queries with exponential backoff.
+
+        Only :class:`ServiceOverloaded` is retried — it is the one
+        typed error where waiting helps.  Each attempt sleeps the
+        server's ``retry_after`` hint when present, else
+        ``backoff * 2**attempt``.  The final attempt's error
+        propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.ask(request, options=options, timeout=timeout)
+            except ServiceOverloaded as exc:
+                if attempt >= retries:
+                    raise
+                delay = exc.retry_after
+                if delay is None:
+                    delay = backoff * (2 ** attempt)
+                time.sleep(delay)
+                attempt += 1
 
     def ping(self) -> bool:
         """True when the server answers a ping."""

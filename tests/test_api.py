@@ -31,13 +31,20 @@ PUBLIC_API = [
     "MissionQuery",
     "MissionResult",
     "MissionSpec",
+    "QueryOptions",
+    "QueryValidationError",
     "ResultKeyError",
     "ScenarioGenerator",
     "ScenarioSet",
     "ScenarioSpec",
     "ServiceBroker",
     "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
     "ServiceServer",
+    "ServiceTimeout",
+    "ShardPool",
+    "ShardUnavailable",
     "SteeringCourse",
     "StriderRunner",
     "SweepResults",
